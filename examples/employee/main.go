@@ -1,0 +1,144 @@
+// Employee/Department: the walkthrough of §2.1 and Figure 1 of the paper.
+//
+// The Employee relation declares Dept_Id as a foreign key, so the MM-DBMS
+// substitutes a tuple-pointer field. Query 1 (employees over 65 with their
+// department names) runs as a selection followed by a precomputed join —
+// no comparisons at all. Query 2 (employees of the Toy or Shoe
+// departments) runs in the other direction: select the departments, then
+// join by comparing tuple pointers rather than data values.
+//
+//	go run ./examples/employee
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mmdb "repro"
+)
+
+func main() {
+	db, err := mmdb.Open(mmdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dept, err := db.CreateTable("dept", []mmdb.Field{
+		{Name: "name", Type: mmdb.TypeString},
+		{Name: "id", Type: mmdb.TypeInt},
+	}, "id", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dept.CreateIndex("by_name", "name", mmdb.TTree); err != nil {
+		log.Fatal(err)
+	}
+
+	// Emp.dept is declared as a foreign key into dept: the engine stores a
+	// tuple pointer, enabling the precomputed join.
+	emp, err := db.CreateTable("emp", []mmdb.Field{
+		{Name: "name", Type: mmdb.TypeString},
+		{Name: "id", Type: mmdb.TypeInt},
+		{Name: "age", Type: mmdb.TypeInt},
+		{Name: "dept", Type: mmdb.TypeRef, ForeignKey: "dept"},
+	}, "id", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := emp.CreateIndex("by_age", "age", mmdb.TTree); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1's instance (ages extended so Query 1 has matches).
+	depts := map[string]*mmdb.Tuple{}
+	for _, d := range []struct {
+		name string
+		id   int64
+	}{{"Toy", 459}, {"Shoe", 409}, {"Linen", 411}, {"Paint", 455}} {
+		tp, err := dept.Insert(mmdb.Str(d.name), mmdb.Int(d.id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		depts[d.name] = tp
+	}
+	for _, e := range []struct {
+		name    string
+		id, age int64
+		dept    string
+	}{
+		{"Dave", 23, 24, "Toy"},
+		{"Suzan", 12, 27, "Toy"},
+		{"Yaman", 44, 54, "Linen"},
+		{"Jane", 43, 47, "Linen"},
+		{"Cindy", 22, 22, "Shoe"},
+		{"Umar", 51, 68, "Shoe"},
+		{"Vera", 52, 71, "Toy"},
+	} {
+		if _, err := emp.Insert(mmdb.Str(e.name), mmdb.Int(e.id), mmdb.Int(e.age), mmdb.Ref(depts[e.dept])); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Query 1: "Retrieve the Employee name, Employee age, and Department
+	// name for all employees over age 65."
+	fmt.Println("Query 1 — employees over 65:")
+	res, err := db.Query("emp").
+		Where("age", mmdb.Gt, mmdb.Int(65)).
+		Join("dept", "dept", mmdb.Self).
+		Select("emp.name", "emp.age", "dept.name").
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  plan:")
+	for _, line := range splitLines(res.Plan()) {
+		fmt.Println("   ", line)
+	}
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		fmt.Printf("    %-8s age %-3v dept %s\n", row[0].Str(), row[1], row[2].Str())
+	}
+
+	// Query 2: "Retrieve the names of all employees who work in the Toy
+	// or Shoe Departments." Selection on dept, then a join whose
+	// comparisons are tuple pointers, not data.
+	fmt.Println("Query 2 — employees in Toy or Shoe:")
+	for _, name := range []string{"Toy", "Shoe"} {
+		res, err := db.Query("dept").
+			Where("name", mmdb.Eq, mmdb.Str(name)).
+			Join("emp", mmdb.Self, "dept").
+			Select("emp.name").
+			Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < res.Len(); i++ {
+			fmt.Printf("    %-8s (%s)\n", res.Row(i)[0].Str(), name)
+		}
+	}
+
+	// The result of a join is a temporary list of tuple-pointer pairs: no
+	// data was copied. Updating a base tuple is visible through an
+	// already-computed result.
+	res, err = db.Query("emp").Where("id", mmdb.Eq, mmdb.Int(23)).Run()
+	if err != nil || res.Len() != 1 {
+		log.Fatal("Dave lookup failed")
+	}
+	dave := res.Tuples(0)[0]
+	if err := emp.Update(dave, "age", mmdb.Int(25)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after birthday, result row reads through the pointer: age=%v\n", res.Row(0)[2])
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Program editor: relational storage for program information, one of the
+// paper's motivating applications — "Horwitz and Teitelbaum have proposed
+// using relational storage for program information in language-based
+// editors" and "Linton has also proposed the use of a database system as
+// the basis for constructing program development environments" (§1).
+//
+// The editor keeps functions, call sites, and variable references in
+// memory-resident relations. Cross-reference queries ("who calls f?",
+// "where is x written?") become indexed selections and pointer joins fast
+// enough to run on every keystroke.
+//
+//	go run ./examples/program-editor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mmdb "repro"
+)
+
+func main() {
+	db, err := mmdb.Open(mmdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	funcs, err := db.CreateTable("funcs", []mmdb.Field{
+		{Name: "name", Type: mmdb.TypeString},
+		{Name: "file", Type: mmdb.TypeString},
+		{Name: "line", Type: mmdb.TypeInt},
+	}, "name", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each call site points at its caller and callee function tuples:
+	// foreign keys become tuple pointers, so "caller of" traversals are
+	// precomputed joins.
+	calls, err := db.CreateTable("calls", []mmdb.Field{
+		{Name: "id", Type: mmdb.TypeInt},
+		{Name: "caller", Type: mmdb.TypeRef, ForeignKey: "funcs"},
+		{Name: "callee", Type: mmdb.TypeRef, ForeignKey: "funcs"},
+		{Name: "line", Type: mmdb.TypeInt},
+	}, "id", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	refs, err := db.CreateTable("refs", []mmdb.Field{
+		{Name: "id", Type: mmdb.TypeInt},
+		{Name: "variable", Type: mmdb.TypeString},
+		{Name: "kind", Type: mmdb.TypeString}, // "read" or "write"
+		{Name: "in", Type: mmdb.TypeRef, ForeignKey: "funcs"},
+		{Name: "line", Type: mmdb.TypeInt},
+	}, "id", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := refs.CreateIndex("by_var", "variable", mmdb.ModLinearHash); err != nil {
+		log.Fatal(err)
+	}
+
+	// Index a small program.
+	fn := map[string]*mmdb.Tuple{}
+	for _, f := range []struct {
+		name, file string
+		line       int64
+	}{
+		{"main", "main.go", 10},
+		{"parse", "parse.go", 5},
+		{"eval", "eval.go", 8},
+		{"lookup", "eval.go", 40},
+		{"report", "main.go", 55},
+	} {
+		tp, err := funcs.Insert(mmdb.Str(f.name), mmdb.Str(f.file), mmdb.Int(f.line))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn[f.name] = tp
+	}
+	callID := int64(0)
+	for _, c := range []struct {
+		caller, callee string
+		line           int64
+	}{
+		{"main", "parse", 14},
+		{"main", "eval", 15},
+		{"main", "report", 17},
+		{"eval", "lookup", 12},
+		{"eval", "eval", 20}, // recursion
+		{"parse", "lookup", 9},
+	} {
+		callID++
+		if _, err := calls.Insert(mmdb.Int(callID), mmdb.Ref(fn[c.caller]), mmdb.Ref(fn[c.callee]), mmdb.Int(c.line)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	refID := int64(0)
+	for _, r := range []struct {
+		variable, kind, in string
+		line               int64
+	}{
+		{"env", "write", "main", 12},
+		{"env", "read", "eval", 9},
+		{"env", "read", "lookup", 41},
+		{"ast", "write", "parse", 7},
+		{"ast", "read", "eval", 10},
+	} {
+		refID++
+		if _, err := refs.Insert(mmdb.Int(refID), mmdb.Str(r.variable), mmdb.Str(r.kind), mmdb.Ref(fn[r.in]), mmdb.Int(r.line)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// "Who calls eval?" — pointer-compare join from the callee tuple.
+	fmt.Println("callers of eval:")
+	res, err := db.Query("calls").
+		Join("funcs", "caller", mmdb.Self).
+		Select("funcs.name", "calls.line").
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		// Filter callee==eval via the tuple pointers in the result rows.
+		if res.Tuples(i)[0].Field(2).Ref() == fn["eval"] {
+			fmt.Printf("  %s (line %v)\n", res.Row(i)[0].Str(), res.Row(i)[1])
+		}
+	}
+
+	// "Where is env referenced?" — hash index on the variable column,
+	// then the precomputed join to the containing function.
+	fmt.Println("references to env:")
+	res, err = db.Query("refs").
+		Where("variable", mmdb.Eq, mmdb.Str("env")).
+		Join("funcs", "in", mmdb.Self).
+		Select("refs.kind", "funcs.name", "funcs.file", "refs.line").
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  plan:", res.Plan())
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		fmt.Printf("  %-5s in %s (%s:%v)\n", row[0].Str(), row[1].Str(), row[2].Str(), row[3])
+	}
+
+	// "Which functions are never called?" — distinct callees vs all.
+	called := map[string]bool{}
+	res, err = db.Query("calls").Join("funcs", "callee", mmdb.Self).Select("funcs.name").Distinct().Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		called[res.Row(i)[0].Str()] = true
+	}
+	fmt.Println("never called:")
+	for name := range fn {
+		if !called[name] {
+			fmt.Println("  ", name)
+		}
+	}
+}

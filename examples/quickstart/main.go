@@ -1,0 +1,90 @@
+// Quickstart: open a main-memory database, declare tables with indices,
+// load rows, and run planned queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mmdb "repro"
+)
+
+func main() {
+	// An in-memory database without durability: no Dir.
+	db, err := mmdb.Open(mmdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every relation is reachable only through an index, so each table
+	// declares a primary index structure: a T Tree for ordered data.
+	products, err := db.CreateTable("products", []mmdb.Field{
+		{Name: "sku", Type: mmdb.TypeInt},
+		{Name: "name", Type: mmdb.TypeString},
+		{Name: "price", Type: mmdb.TypeFloat},
+	}, "sku", mmdb.TTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A secondary hash index (Modified Linear Hashing — the MM-DBMS's
+	// structure for unordered data) for exact-match lookups by name.
+	if _, err := products.CreateIndex("by_name", "name", mmdb.ModLinearHash); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range []struct {
+		sku   int64
+		name  string
+		price float64
+	}{
+		{1001, "widget", 9.99},
+		{1002, "gadget", 24.50},
+		{1003, "sprocket", 3.75},
+		{1004, "flange", 12.00},
+		{1005, "grommet", 0.99},
+	} {
+		if _, err := products.Insert(mmdb.Int(p.sku), mmdb.Str(p.name), mmdb.Float(p.price)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Exact match: the planner picks the hash index ("a hash lookup is
+	// always faster than a tree lookup").
+	res, err := db.Query("products").Where("name", mmdb.Eq, mmdb.Str("gadget")).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", res.Plan())
+	for i := 0; i < res.Len(); i++ {
+		fmt.Println("  ", res.Row(i))
+	}
+
+	// Range: only the order-preserving index can serve it.
+	res, err = db.Query("products").
+		Where("sku", mmdb.Ge, mmdb.Int(1002)).
+		Where("sku", mmdb.Lt, mmdb.Int(1005)).
+		Select("sku", "name").
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", res.Plan())
+	for i := 0; i < res.Len(); i++ {
+		fmt.Println("  ", res.Row(i))
+	}
+
+	// Transactions: deferred updates, two-phase partition locks.
+	tx := db.Begin()
+	if err := tx.Insert(products, mmdb.Int(1006), mmdb.Str("doohickey"), mmdb.Float(5.25)); err != nil {
+		log.Fatal(err)
+	}
+	inserted, err := tx.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed:", inserted[0])
+
+	fmt.Println("products:", products.Cardinality())
+}

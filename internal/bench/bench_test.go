@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyEnv keeps experiment smoke tests fast.
+var tinyEnv = Env{Scale: 0.02, Seed: 7}
+
+func TestEveryExperimentRunsAndFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run")
+	}
+	seen := map[string]bool{}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			series := e.Run(tinyEnv)
+			if len(series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range series {
+				if seen[s.ID] {
+					t.Fatalf("duplicate series ID %q", s.ID)
+				}
+				seen[s.ID] = true
+				if len(s.Points) == 0 || len(s.Names) == 0 {
+					t.Fatalf("series %s is empty", s.ID)
+				}
+				for _, p := range s.Points {
+					if len(p.Y) != len(s.Names) {
+						t.Fatalf("series %s point %q has %d values for %d names", s.ID, p.X, len(p.Y), len(s.Names))
+					}
+					for i, y := range p.Y {
+						if math.IsNaN(y) || y < 0 {
+							t.Fatalf("series %s point %q curve %s: bad y %v", s.ID, p.X, s.Names[i], y)
+						}
+					}
+				}
+				out := s.Format()
+				if !strings.Contains(out, s.ID) {
+					t.Fatalf("Format lacks the series ID:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("graph4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestEnvScaling(t *testing.T) {
+	if (Env{Scale: 0.5}).N(30000) != 15000 {
+		t.Fatal("scale not applied")
+	}
+	if (Env{}).N(30000) != 30000 {
+		t.Fatal("zero scale should mean 1.0")
+	}
+	if (Env{Scale: 0.00001}).N(30000) != 16 {
+		t.Fatal("floor not applied")
+	}
+}
+
+// TestShapeGraph10NestedLoopsQuadratic verifies the baseline's defining
+// property at a small but meaningful scale.
+func TestShapeGraph10NestedLoopsQuadratic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	series := Graph10NestedLoops(Env{Scale: 0.2, Seed: 3})[0]
+	first := series.Points[0].Y[0]
+	last := series.Points[len(series.Points)-1].Y[0]
+	// 20x the cardinality should cost far more than 20x the time for an
+	// O(N²) algorithm; demand at least 40x to leave timing slack.
+	if last < first*40 {
+		t.Fatalf("nested loops not quadratic: %v -> %v", first, last)
+	}
+	// And hash join must beat nested loops at the largest point.
+	if hash := series.Points[len(series.Points)-1].Y[1]; hash*10 > last {
+		t.Fatalf("hash join (%v) not an order of magnitude under nested loops (%v)", hash, last)
+	}
+}
+
+// TestShapeProjectionHashWins verifies the §3.4 headline at small scale.
+func TestShapeProjectionHashWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	series := Graph11ProjectCardinality(Env{Scale: 0.3, Seed: 3})[0]
+	last := series.Points[len(series.Points)-1]
+	sortScan, hash := last.Y[0], last.Y[1]
+	if hash > sortScan {
+		t.Fatalf("hash (%v) slower than sort scan (%v) at the largest cardinality", hash, sortScan)
+	}
+}

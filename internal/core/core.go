@@ -1,0 +1,15 @@
+// Package core marks the paper's primary contribution within this
+// repository's layout. The contribution itself is implemented in:
+//
+//   - repro/internal/index/ttree — the T Tree index structure (§3.2.1),
+//     the paper's new data structure;
+//   - repro/internal/exec — the main-memory selection, join, and
+//     projection algorithms whose comparative study is the paper's
+//     experimental contribution (§3.3–3.4);
+//   - repro/internal/plan — the simplified preference-order query
+//     optimization the paper concludes with (§4).
+//
+// The surrounding substrates (storage, workload generation, locking,
+// recovery, SQL) live in their own packages; see DESIGN.md for the full
+// system inventory.
+package core

@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"repro/internal/meter"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+
+	"repro/internal/index/sortedarray"
+	"repro/internal/index/ttree"
+)
+
+// JoinSpec configures a two-relation equijoin producing a temporary list
+// of (outer, inner) tuple-pointer rows.
+type JoinSpec struct {
+	OuterName, InnerName   string
+	OuterField, InnerField int              // join columns; SelfField joins on tuple identity
+	Cols                   []storage.ColRef // output columns (may be empty: rows only)
+	NodeSize               int              // node size for indices the join builds
+	Meter                  *meter.Counters
+	// Discard counts result rows without materializing them — for
+	// benchmark sweeps whose cross-product outputs would not fit in
+	// memory. RowsOut, when non-nil, receives the emitted row count.
+	Discard bool
+	RowsOut *int
+}
+
+// emitter materializes (or merely counts) join result rows.
+type emitter struct {
+	spec JoinSpec
+	list *storage.TempList
+	n    int
+}
+
+func (s JoinSpec) newEmitter() *emitter {
+	return &emitter{spec: s, list: s.newList()}
+}
+
+func (e *emitter) emit(o, i *storage.Tuple) {
+	e.n++
+	if !e.spec.Discard {
+		e.list.Append(storage.Row{o, i})
+	}
+}
+
+func (e *emitter) done() *storage.TempList {
+	if e.spec.RowsOut != nil {
+		*e.spec.RowsOut = e.n
+	}
+	return e.list
+}
+
+func (s JoinSpec) newList() *storage.TempList {
+	return storage.MustTempList(PairDescriptor(s.OuterName, s.InnerName, s.Cols))
+}
+
+func (s JoinSpec) buildNodeSize() int {
+	if s.NodeSize > 0 {
+		return s.NodeSize
+	}
+	return 4
+}
+
+// NestedLoopsJoin is the pure O(N²) join: each outer tuple scans the
+// entire inner relation. §3.3.4: "unless one plans to generate full cross
+// products on a regular basis, nested loops join should simply never be
+// considered as a practical join method for a main memory DBMS."
+func NestedLoopsJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	outer.Scan(func(o *storage.Tuple) bool {
+		ko := tupleindex.KeyOf(o, spec.OuterField)
+		inner.Scan(func(i *storage.Tuple) bool {
+			spec.Meter.AddCompare(1)
+			if storage.Equal(ko, tupleindex.KeyOf(i, spec.InnerField)) {
+				out.emit(o, i)
+			}
+			return true
+		})
+		return true
+	})
+	return out.done()
+}
+
+// HashJoin builds a chained-bucket hash table on the inner join column —
+// the build cost is always included, "because we feel that a hash table
+// index is less likely to exist than a T Tree index" (§3.3.2) — then
+// probes it with each outer tuple.
+func HashJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
+	ns := spec.buildNodeSize()
+	ht := tupleindex.NewChainHash(tupleindex.Options{
+		Field:    spec.InnerField,
+		NodeSize: ns,
+		// One slot per inner tuple: the paper's fixed lookup cost k stays
+		// "much smaller than log2(|R2|) but larger than 2" (§3.3.4).
+		Capacity: maxInt(inner.Len(), 1) * ns,
+		Meter:    spec.Meter,
+	})
+	inner.Scan(func(t *storage.Tuple) bool {
+		ht.Insert(t)
+		return true
+	})
+	return probeHash(outer, ht, spec)
+}
+
+// HashJoinExisting probes an already-built hash index on the inner join
+// column, the case where the hash index happens to exist as a regular
+// index.
+func HashJoinExisting(outer Source, inner tupleindex.Hashed, spec JoinSpec) *storage.TempList {
+	return probeHash(outer, inner, spec)
+}
+
+func probeHash(outer Source, inner tupleindex.Hashed, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	outer.Scan(func(o *storage.Tuple) bool {
+		ko := tupleindex.KeyOf(o, spec.OuterField)
+		spec.Meter.AddHash(1)
+		inner.SearchKeyAll(storage.Hash(ko),
+			func(i *storage.Tuple) bool {
+				spec.Meter.AddCompare(1)
+				return storage.Equal(tupleindex.KeyOf(i, spec.InnerField), ko)
+			},
+			func(i *storage.Tuple) bool {
+				out.emit(o, i)
+				return true
+			})
+		return true
+	})
+	return out.done()
+}
+
+// TreeJoin uses an existing ordered index (in the MM-DBMS, a T Tree) on
+// the inner join column: each outer tuple searches the tree, then scans in
+// both directions for duplicates. Building the tree for the join is never
+// worthwhile — "a T Tree costs more to build and a hash table is faster
+// for single value retrieval" (§3.3.2) — so no build variant exists.
+func TreeJoin(outer Source, inner tupleindex.Ordered, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	outer.Scan(func(o *storage.Tuple) bool {
+		ko := tupleindex.KeyOf(o, spec.OuterField)
+		inner.SearchAll(tupleindex.PosFor(ko, spec.InnerField), func(i *storage.Tuple) bool {
+			out.emit(o, i)
+			return true
+		})
+		return true
+	})
+	return out.done()
+}
+
+// SortMergeJoin is the main-memory variant of [BlE77]: build array indices
+// on both join columns (append + quicksort with the insertion-sort
+// cutoff), then merge. The build cost is part of the method.
+func SortMergeJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
+	ao := tupleindex.BuildArray(tupleindex.Options{Field: spec.OuterField, Meter: spec.Meter}, Tuples(outer))
+	ai := tupleindex.BuildArray(tupleindex.Options{Field: spec.InnerField, Meter: spec.Meter}, Tuples(inner))
+	return MergeJoinArrays(ao, ai, spec)
+}
+
+// MergeJoinArrays merges two existing sorted-array indices.
+func MergeJoinArrays(outer, inner *sortedarray.Array[*storage.Tuple], spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	a := &arrayCursor{arr: outer}
+	b := &arrayCursor{arr: inner}
+	mergeJoin(a, b, spec, out)
+	return out.done()
+}
+
+// TreeMergeJoin merges two existing T Tree indices in key order. With both
+// indices present this was the paper's best method in almost all cases;
+// building them for the join is never worthwhile (§3.3.5).
+func TreeMergeJoin(outer, inner *ttree.Tree[*storage.Tuple], spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	ac := outer.First()
+	bc := inner.First()
+	mergeJoin(&treeCursor{c: ac}, &treeCursor{c: bc}, spec, out)
+	return out.done()
+}
+
+// PrecomputedJoin follows the tuple-pointer foreign-key field (§2.1): the
+// joining tuples are already paired, so result rows are extracted from the
+// outer relation alone with no comparisons. Tuples with a null pointer
+// have no match and produce no row.
+func PrecomputedJoin(outer Source, refField int, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	outer.Scan(func(o *storage.Tuple) bool {
+		v := o.Field(refField)
+		if !v.IsNull() {
+			out.emit(o, v.Ref())
+		}
+		return true
+	})
+	return out.done()
+}
+
+// joinCursor is the merge join's ordered iterator; clones mark the start
+// of an equal group for rescanning.
+type joinCursor interface {
+	valid() bool
+	tuple() *storage.Tuple
+	next()
+	clone() joinCursor
+}
+
+type arrayCursor struct {
+	arr *sortedarray.Array[*storage.Tuple]
+	i   int
+}
+
+func (c *arrayCursor) valid() bool           { return c.i < c.arr.Len() }
+func (c *arrayCursor) tuple() *storage.Tuple { return c.arr.At(c.i) }
+func (c *arrayCursor) next()                 { c.i++ }
+func (c *arrayCursor) clone() joinCursor     { cp := *c; return &cp }
+
+type treeCursor struct{ c ttree.Cursor[*storage.Tuple] }
+
+func (c *treeCursor) valid() bool           { return c.c.Valid() }
+func (c *treeCursor) tuple() *storage.Tuple { return c.c.Entry() }
+func (c *treeCursor) next()                 { c.c.Next() }
+func (c *treeCursor) clone() joinCursor     { cp := *c; return &cp }
+
+// mergeJoin is the merge phase of [BlE77] with duplicate handling: on a
+// key match it emits the cross product of the two equal groups by
+// rescanning the inner group from a cloned cursor for every outer tuple in
+// its group.
+func mergeJoin(a, b joinCursor, spec JoinSpec, out *emitter) {
+	fo, fi := spec.OuterField, spec.InnerField
+	for a.valid() && b.valid() {
+		spec.Meter.AddCompare(1)
+		v := tupleindex.KeyOf(b.tuple(), fi)
+		switch c := storage.Compare(tupleindex.KeyOf(a.tuple(), fo), v); {
+		case c < 0:
+			a.next()
+		case c > 0:
+			b.next()
+		default:
+			// Cross product of the equal groups.
+			for a.valid() && storage.Compare(tupleindex.KeyOf(a.tuple(), fo), v) == 0 {
+				spec.Meter.AddCompare(1)
+				o := a.tuple()
+				bb := b.clone()
+				for bb.valid() && storage.Compare(tupleindex.KeyOf(bb.tuple(), fi), v) == 0 {
+					spec.Meter.AddCompare(1)
+					out.emit(o, bb.tuple())
+					bb.next()
+				}
+				a.next()
+			}
+			for b.valid() && storage.Compare(tupleindex.KeyOf(b.tuple(), fi), v) == 0 {
+				spec.Meter.AddCompare(1)
+				b.next()
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NonEquiOp is a non-equality join comparison.
+type NonEquiOp int
+
+// Non-equijoin operators: outer.field OP inner.field. §3.3.5: such joins
+// "can make use of ordering of the data, so the Tree Join should be used".
+const (
+	JoinLt NonEquiOp = iota
+	JoinLe
+	JoinGt
+	JoinGe
+)
+
+// String renders the operator.
+func (o NonEquiOp) String() string {
+	switch o {
+	case JoinLt:
+		return "<"
+	case JoinLe:
+		return "<="
+	case JoinGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// NonEquiTreeJoin joins outer with inner on outer.field OP inner.field
+// using an existing ordered index on the inner join column: each outer
+// tuple turns into one range scan of the index.
+func NonEquiTreeJoin(outer Source, inner tupleindex.Ordered, op NonEquiOp, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	all := func(*storage.Tuple) int { return 0 }
+	outer.Scan(func(o *storage.Tuple) bool {
+		ko := tupleindex.KeyOf(o, spec.OuterField)
+		pos := tupleindex.PosFor(ko, spec.InnerField)
+		emit := func(i *storage.Tuple) bool {
+			out.emit(o, i)
+			return true
+		}
+		// The inner entries matching "ko OP inner" form one contiguous key
+		// range of the index.
+		switch op {
+		case JoinLt: // inner > ko
+			inner.Range(func(t *storage.Tuple) int {
+				if pos(t) > 0 {
+					return 0 // at or above the first strictly-greater entry
+				}
+				return -1
+			}, all, emit)
+		case JoinLe: // inner >= ko
+			inner.Range(pos, all, emit)
+		case JoinGt: // inner < ko
+			inner.Range(all, func(t *storage.Tuple) int {
+				if pos(t) < 0 {
+					return 0 // still below ko: inside the range
+				}
+				return 1
+			}, emit)
+		default: // JoinGe: inner <= ko
+			inner.Range(all, pos, emit)
+		}
+		return true
+	})
+	return out.done()
+}
+
+// NonEquiNestedLoopsJoin is the fallback when no ordered index exists.
+func NonEquiNestedLoopsJoin(outer, inner Source, op NonEquiOp, spec JoinSpec) *storage.TempList {
+	out := spec.newEmitter()
+	outer.Scan(func(o *storage.Tuple) bool {
+		ko := tupleindex.KeyOf(o, spec.OuterField)
+		inner.Scan(func(i *storage.Tuple) bool {
+			spec.Meter.AddCompare(1)
+			c := storage.Compare(ko, tupleindex.KeyOf(i, spec.InnerField))
+			match := false
+			switch op {
+			case JoinLt:
+				match = c < 0
+			case JoinLe:
+				match = c <= 0
+			case JoinGt:
+				match = c > 0
+			default:
+				match = c >= 0
+			}
+			if match {
+				out.emit(o, i)
+			}
+			return true
+		})
+		return true
+	})
+	return out.done()
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"repro/internal/meter"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// The three selection access paths of §4: "a hash lookup (exact match
+// only) is always faster than a tree lookup which is always faster than a
+// sequential scan."
+
+// SelectSpec names the output of a selection.
+type SelectSpec struct {
+	RelName string
+	Schema  *storage.Schema
+	Meter   *meter.Counters
+}
+
+func (s SelectSpec) newList() *storage.TempList {
+	return storage.MustTempList(singleDesc(s.RelName, s.Schema))
+}
+
+// SelectEqHash performs an exact-match selection through a hash index.
+func SelectEqHash(ix tupleindex.Hashed, field int, key storage.Value, spec SelectSpec) *storage.TempList {
+	out := spec.newList()
+	h := storage.Hash(key)
+	spec.Meter.AddHash(1)
+	ix.SearchKeyAll(h,
+		func(t *storage.Tuple) bool {
+			spec.Meter.AddCompare(1)
+			return storage.Equal(tupleindex.KeyOf(t, field), key)
+		},
+		func(t *storage.Tuple) bool {
+			out.Append(storage.Row{t})
+			return true
+		})
+	return out
+}
+
+// SelectEqTree performs an exact-match selection through an ordered index:
+// a search to any matching entry, then a scan in both directions, since
+// equal entries are logically contiguous (§3.3.4).
+func SelectEqTree(ix tupleindex.Ordered, field int, key storage.Value, spec SelectSpec) *storage.TempList {
+	out := spec.newList()
+	ix.SearchAll(tupleindex.PosFor(key, field), func(t *storage.Tuple) bool {
+		out.Append(storage.Row{t})
+		return true
+	})
+	return out
+}
+
+// SelectRange selects lo <= field <= hi through an ordered index; hash
+// structures cannot serve range queries (§3.2.2: "range queries (hash
+// structures excluded)"). Nil bounds are open.
+func SelectRange(ix tupleindex.Ordered, field int, lo, hi *storage.Value, spec SelectSpec) *storage.TempList {
+	out := spec.newList()
+	loPos := func(*storage.Tuple) int { return 0 } // everything >= -inf
+	if lo != nil {
+		loPos = tupleindex.PosFor(*lo, field)
+	}
+	hiPos := func(*storage.Tuple) int { return 0 } // everything <= +inf
+	if hi != nil {
+		hiPos = tupleindex.PosFor(*hi, field)
+	}
+	ix.Range(loPos, hiPos, func(t *storage.Tuple) bool {
+		out.Append(storage.Row{t})
+		return true
+	})
+	return out
+}
+
+// SelectScan selects by predicate with a sequential scan through an index
+// — possibly one on an unrelated attribute, the fallback access path when
+// no index covers the selection column.
+func SelectScan(src Source, pred func(*storage.Tuple) bool, spec SelectSpec) *storage.TempList {
+	out := spec.newList()
+	src.Scan(func(t *storage.Tuple) bool {
+		spec.Meter.AddCompare(1)
+		if pred(t) {
+			out.Append(storage.Row{t})
+		}
+		return true
+	})
+	return out
+}

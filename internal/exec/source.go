@@ -1,0 +1,82 @@
+// Package exec implements the MM-DBMS query operators of §3: selection
+// through an index (hash lookup, tree lookup, range, or sequential scan
+// through an unrelated index), the five studied join methods plus the
+// precomputed pointer join, and duplicate-eliminating projection by Sort
+// Scan or Hashing. Operators consume tuple sources and produce temporary
+// lists (§2.3) — tuple-pointer rows plus a result descriptor; data is
+// never copied, only pointed to.
+package exec
+
+import (
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// Source yields tuples. Relations are always reached through an index
+// (§2.1); temporary lists may be traversed directly.
+type Source interface {
+	Len() int
+	Scan(fn func(*storage.Tuple) bool)
+}
+
+// OrderedScan adapts an ordered tuple index into a Source; iteration is in
+// key order.
+type OrderedScan struct{ Index tupleindex.Ordered }
+
+// Len returns the number of tuples.
+func (s OrderedScan) Len() int { return s.Index.Len() }
+
+// Scan visits tuples in ascending key order.
+func (s OrderedScan) Scan(fn func(*storage.Tuple) bool) { s.Index.ScanAsc(fn) }
+
+// HashedScan adapts a hash tuple index into a Source; iteration order is
+// unspecified.
+type HashedScan struct{ Index tupleindex.Hashed }
+
+// Len returns the number of tuples.
+func (s HashedScan) Len() int { return s.Index.Len() }
+
+// Scan visits tuples in unspecified order.
+func (s HashedScan) Scan(fn func(*storage.Tuple) bool) { s.Index.Scan(fn) }
+
+// ListColumn adapts one column of a temporary list into a Source: the
+// paper's pipeline where a selection result feeds a join (§2.1 Query 2).
+type ListColumn struct {
+	List   *storage.TempList
+	Column int // which source slot of each row to yield
+}
+
+// Len returns the number of rows.
+func (s ListColumn) Len() int { return s.List.Len() }
+
+// Scan visits the column's tuples in row order.
+func (s ListColumn) Scan(fn func(*storage.Tuple) bool) {
+	s.List.Scan(func(_ int, row storage.Row) bool { return fn(row[s.Column]) })
+}
+
+// Tuples materializes a source into a slice; builders (hash table, sort
+// array) use it as their input pass.
+func Tuples(s Source) []*storage.Tuple {
+	out := make([]*storage.Tuple, 0, s.Len())
+	s.Scan(func(t *storage.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// singleDesc builds the descriptor for a one-source result over the named
+// relation, exposing the given columns of its schema.
+func singleDesc(relName string, schema *storage.Schema) storage.Descriptor {
+	d := storage.Descriptor{Sources: []string{relName}}
+	for i := 0; i < schema.Arity(); i++ {
+		d.Cols = append(d.Cols, storage.ColRef{Source: 0, Field: i, Name: schema.Field(i).Name})
+	}
+	return d
+}
+
+// PairDescriptor builds the descriptor for a two-source join result; cols
+// name the output columns as (source, field, name) triples.
+func PairDescriptor(outerName, innerName string, cols []storage.ColRef) storage.Descriptor {
+	return storage.Descriptor{Sources: []string{outerName, innerName}, Cols: cols}
+}

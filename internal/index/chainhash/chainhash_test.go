@@ -1,0 +1,87 @@
+package chainhash
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/meter"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.RunHashed(t,
+		func(cfg index.Config[indextest.Entry]) index.Hashed[indextest.Entry] {
+			return New(cfg)
+		},
+		indextest.HashedOptions{Static: true})
+}
+
+func intTable(nodeSize, capacity int, m *meter.Counters) *Table[int64] {
+	return New(index.Config[int64]{
+		Hash:         func(e int64) uint64 { return indextest.HashKey(e) },
+		Eq:           func(a, b int64) bool { return a == b },
+		NodeSize:     nodeSize,
+		CapacityHint: capacity,
+		Meter:        m,
+	})
+}
+
+func TestStaticTableDoesNotGrow(t *testing.T) {
+	tb := intTable(4, 100, nil)
+	slots := len(tb.slots)
+	for i := int64(0); i < 10000; i++ { // 100x the capacity hint
+		tb.Insert(i)
+	}
+	if len(tb.slots) != slots {
+		t.Fatalf("static table grew from %d to %d slots", slots, len(tb.slots))
+	}
+	if tb.Len() != 10000 {
+		t.Fatalf("Len=%d", tb.Len())
+	}
+	// Everything still findable — just via longer chains.
+	for i := int64(0); i < 10000; i += 97 {
+		if _, ok := tb.SearchKey(indextest.HashKey(i), func(e int64) bool { return e == i }); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestSearchCostGrowsWithOverload(t *testing.T) {
+	var m meter.Counters
+	tb := intTable(4, 1000, &m)
+	for i := int64(0); i < 1000; i++ {
+		tb.Insert(i)
+	}
+	m.Reset()
+	for i := int64(0); i < 1000; i++ {
+		tb.SearchKey(indextest.HashKey(i), func(e int64) bool { return e == i })
+	}
+	atCapacity := m.Comparisons
+
+	tb2 := intTable(4, 1000, &m)
+	for i := int64(0); i < 10000; i++ {
+		tb2.Insert(i)
+	}
+	m.Reset()
+	for i := int64(0); i < 1000; i++ {
+		tb2.SearchKey(indextest.HashKey(i), func(e int64) bool { return e == i })
+	}
+	overloaded := m.Comparisons
+	if overloaded < atCapacity*4 {
+		t.Fatalf("overloading barely changed search cost: %d vs %d", overloaded, atCapacity)
+	}
+}
+
+func TestStorageFactorIncludesUnusedSlots(t *testing.T) {
+	// §3.2.2: chained bucket hashing's 2.3 factor came from one pointer
+	// per data item plus partly-unused table slots. With single-item
+	// nodes the factor must exceed 2 (item + next pointer + table share).
+	tb := intTable(1, 1000, nil)
+	for i := int64(0); i < 1000; i++ {
+		tb.Insert(i)
+	}
+	f := index.PaperModel.Factor(tb.Stats())
+	if f < 2.0 || f > 4.0 {
+		t.Fatalf("storage factor %.2f outside the expected 2-4 band", f)
+	}
+}

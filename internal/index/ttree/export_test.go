@@ -1,0 +1,24 @@
+package ttree
+
+// Validate exposes the invariant checker to tests.
+func (t *Tree[E]) Validate() error { return t.checkInvariants() }
+
+// RootOccupancies returns (occupancy, isInternal) per node in-order; tests
+// use it to inspect node fill.
+func (t *Tree[E]) NodeOccupancies() (occ []int, internal []bool) {
+	var walk func(n *node[E])
+	walk = func(n *node[E]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		occ = append(occ, len(n.items))
+		internal = append(internal, n.left != nil && n.right != nil)
+		walk(n.right)
+	}
+	walk(t.root)
+	return occ, internal
+}
+
+// Height returns the tree height in nodes.
+func (t *Tree[E]) Height() int { return height(t.root) }

@@ -1,0 +1,307 @@
+package ttree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/meter"
+)
+
+func factory(cfg index.Config[indextest.Entry]) index.Ordered[indextest.Entry] {
+	return New(cfg)
+}
+
+func TestConformance(t *testing.T) {
+	indextest.RunOrdered(t, factory, indextest.Options{
+		Validate: func(impl index.Ordered[indextest.Entry]) error {
+			return impl.(*Tree[indextest.Entry]).Validate()
+		},
+	})
+}
+
+func intTree(nodeSize int, unique bool) *Tree[int64] {
+	return New(index.Config[int64]{
+		Cmp: func(a, b int64) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		},
+		Unique:   unique,
+		NodeSize: nodeSize,
+	})
+}
+
+func posOf(k int64) index.Pos[int64] {
+	return func(e int64) int {
+		switch {
+		case e < k:
+			return -1
+		case e > k:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func TestHeightIsLogarithmic(t *testing.T) {
+	// 30k entries, node size 30: a balanced binary tree of ~1000 nodes
+	// should be around 10 levels; an unbalanced one would be far taller.
+	tr := intTree(30, true)
+	for i := int64(0); i < 30000; i++ {
+		tr.Insert(i) // sorted insertion order is the adversarial case
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := tr.Stats().Nodes
+	maxH := int(1.45*math.Log2(float64(nodes)+2)) + 2 // AVL height bound
+	if h := tr.Height(); h > maxH {
+		t.Fatalf("height %d exceeds AVL bound %d for %d nodes", h, maxH, nodes)
+	}
+}
+
+func TestInternalNodesStayNearFull(t *testing.T) {
+	// The min/max gap exists so internal nodes stay densely packed under a
+	// mixed workload; verify average internal occupancy is near max.
+	tr := intTree(20, false)
+	rng := rand.New(rand.NewSource(5))
+	live := map[int64]bool{}
+	for i := 0; i < 30000; i++ {
+		k := rng.Int63n(8000)
+		if rng.Intn(3) == 0 && len(live) > 0 {
+			// delete a random-ish live key
+			for d := range live {
+				tr.Delete(d)
+				delete(live, d)
+				break
+			}
+		} else if !live[k] {
+			tr.Insert(k)
+			live[k] = true
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	occ, internal := tr.NodeOccupancies()
+	sum, n := 0, 0
+	for i := range occ {
+		if internal[i] {
+			sum += occ[i]
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("no internal nodes")
+	}
+	if avg := float64(sum) / float64(n); avg < 17 {
+		t.Fatalf("average internal occupancy %.1f of max 20 — expected near-full", avg)
+	}
+}
+
+func TestGLBTransferOnOverflow(t *testing.T) {
+	// Fill one node, then insert a value bounded by it: the minimum must
+	// migrate to a leaf, keeping search correct.
+	tr := intTree(4, true)
+	for _, k := range []int64{10, 20, 30, 40} {
+		tr.Insert(k)
+	}
+	tr.Insert(25) // bounded by [10,40], node full
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{10, 20, 25, 30, 40} {
+		if _, ok := tr.Search(posOf(k)); !ok {
+			t.Fatalf("key %d lost after overflow", k)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteUnderflowBorrowsGLB(t *testing.T) {
+	// Build a tree with an internal node, then delete from it until it
+	// underflows; the tree must stay valid and complete.
+	tr := intTree(4, true)
+	for i := int64(0); i < 40; i++ {
+		tr.Insert(i)
+	}
+	for i := int64(0); i < 40; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	for i := int64(0); i < 40; i++ {
+		_, ok := tr.Search(posOf(i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("key %d presence=%v", i, ok)
+		}
+	}
+}
+
+func TestDrainToEmpty(t *testing.T) {
+	tr := intTree(6, true)
+	const n = 500
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(int64(k))
+	}
+	for _, k := range perm {
+		if !tr.Delete(int64(k)) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d after drain", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree is reusable after draining.
+	tr.Insert(1)
+	if _, ok := tr.Search(posOf(1)); !ok {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+func TestCursorCoIteration(t *testing.T) {
+	tr := intTree(8, true)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i * 2)
+	}
+	c := tr.First()
+	var got []int64
+	for c.Valid() {
+		got = append(got, c.Entry())
+		c.Next()
+	}
+	if len(got) != 100 {
+		t.Fatalf("cursor visited %d entries", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i*2) {
+			t.Fatalf("cursor out of order at %d: %d", i, k)
+		}
+	}
+	lb := tr.LowerBoundCursor(posOf(51))
+	if !lb.Valid() || lb.Entry() != 52 {
+		t.Fatalf("LowerBoundCursor(51) = %v", lb)
+	}
+	lb = tr.LowerBoundCursor(posOf(1000))
+	if lb.Valid() {
+		t.Fatal("LowerBoundCursor past end should be invalid")
+	}
+}
+
+func TestRotationsAreRareWithGap(t *testing.T) {
+	// §3.2.1: the min/max gap "significantly reduces the need for tree
+	// rotations" under a mix of inserts and deletes. Compare rotation
+	// counts: same workload, node size 30 vs an AVL-like tree (node size
+	// 2 ~ nearly one element per node rotates much more).
+	workload := func(nodeSize int) int64 {
+		var m meter.Counters
+		tr := New(index.Config[int64]{
+			Cmp: func(a, b int64) int {
+				switch {
+				case a < b:
+					return -1
+				case a > b:
+					return 1
+				default:
+					return 0
+				}
+			},
+			NodeSize: nodeSize,
+			Meter:    &m,
+		})
+		rng := rand.New(rand.NewSource(77))
+		var live []int64
+		for i := 0; i < 20000; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				k := rng.Int63n(1 << 40)
+				tr.Insert(k)
+				live = append(live, k)
+			} else {
+				j := rng.Intn(len(live))
+				tr.Delete(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return m.Rotations
+	}
+	big, small := workload(30), workload(2)
+	if big*5 > small {
+		t.Fatalf("node size 30 did %d rotations vs %d at node size 2 — gap not reducing rotations", big, small)
+	}
+}
+
+func TestPropertyInsertDeleteMirror(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := intTree(5, false)
+		for i, k := range keys {
+			tr.Insert(int64(k))
+			if i%7 == 0 {
+				if tr.Validate() != nil {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if !tr.Delete(int64(k)) {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	tr := intTree(30, true)
+	for i := int64(0); i < 30000; i++ {
+		tr.Insert(i)
+	}
+	s := tr.Stats()
+	if s.Entries != 30000 {
+		t.Fatalf("Entries=%d", s.Entries)
+	}
+	if s.ChildPtrs != 3*s.Nodes || s.ControlWords != 2*s.Nodes {
+		t.Fatalf("per-node accounting wrong: %+v", s)
+	}
+	// Storage factor for medium nodes should be modest (paper: ~1.5).
+	if f := index.PaperModel.Factor(s); f < 1.0 || f > 1.8 {
+		t.Fatalf("storage factor %.2f out of expected band", f)
+	}
+}
+
+func TestNodeBoundsDefaulting(t *testing.T) {
+	tr := intTree(0, false)
+	min, max := tr.NodeBounds()
+	if max != DefaultNodeSize || min != DefaultNodeSize-DefaultMinGap {
+		t.Fatalf("bounds = (%d,%d)", min, max)
+	}
+	tr = intTree(1, false)
+	if _, max := tr.NodeBounds(); max < 2 {
+		t.Fatalf("max %d < 2", max)
+	}
+}

@@ -1,0 +1,160 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "p0", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- m.Lock(2, "p0", Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second shared lock blocked")
+	}
+}
+
+func TestExclusiveBlocksAndHandsOff(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "p0", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var acquired atomic.Bool
+	done := make(chan error)
+	go func() {
+		err := m.Lock(2, "p0", Exclusive)
+		acquired.Store(true)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("exclusive lock granted while held")
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Holds(2, "p0"); !ok {
+		t.Fatal("handoff lost")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(1, "p0", Shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Lock(1, "p0", Exclusive); err != nil {
+		t.Fatal("self-upgrade with no contention failed")
+	}
+	if mode, _ := m.Holds(1, "p0"); mode != Exclusive {
+		t.Fatalf("mode=%v", mode)
+	}
+	// X then S request stays X.
+	if err := m.Lock(1, "p0", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Holds(1, "p0"); mode != Exclusive {
+		t.Fatal("downgraded")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Txn 1 waits for b (held by 2).
+		m.Lock(1, "b", Exclusive)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// Txn 2 requesting a (held by 1) closes the cycle.
+	if err := m.Lock(2, "a", Exclusive); err != ErrDeadlock {
+		t.Fatalf("err=%v, want ErrDeadlock", err)
+	}
+	// Victim aborts; txn 1 gets its lock.
+	m.ReleaseAll(2)
+	deadline := time.After(time.Second)
+	for {
+		if _, ok := m.Holds(1, "b"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("txn 1 never acquired b after victim release")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, "p", Shared)
+	m.Lock(2, "p", Shared)
+	go func() { m.Lock(1, "p", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := m.Lock(2, "p", Exclusive); err != ErrDeadlock {
+		t.Fatalf("err=%v, want ErrDeadlock on crossing upgrades", err)
+	}
+	m.ReleaseAll(2)
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const txns = 16
+	const resources = 4
+	var counters [resources]int64
+	var wg sync.WaitGroup
+	for id := TxnID(1); id <= txns; id++ {
+		wg.Add(1)
+		go func(id TxnID) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				res := int(id+TxnID(iter)) % resources
+				// Single-resource transactions cannot deadlock.
+				if err := m.Lock(id, res, Exclusive); err != nil {
+					t.Errorf("txn %d: %v", id, err)
+					return
+				}
+				// Critical section: verify mutual exclusion.
+				if n := atomic.AddInt64(&counters[res], 1); n != 1 {
+					t.Errorf("mutual exclusion violated on %d: %d holders", res, n)
+				}
+				atomic.AddInt64(&counters[res], -1)
+				m.ReleaseAll(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+func TestReleaseAllCleansUp(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, "a", Shared)
+	m.Lock(1, "b", Exclusive)
+	m.ReleaseAll(1)
+	if _, ok := m.Holds(1, "a"); ok {
+		t.Fatal("lock survived ReleaseAll")
+	}
+	// Fresh acquisition by another txn succeeds immediately.
+	if err := m.Lock(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}

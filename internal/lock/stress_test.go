@@ -1,0 +1,63 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWriterVsReaderStress(t *testing.T) {
+	m := NewManager()
+	rel := "rel"
+	parts := []string{"p0", "p1", "p2"}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			id := TxnID(1000000 + i)
+			if err := m.Lock(id, rel, Exclusive); err != nil {
+				m.ReleaseAll(id)
+				continue
+			}
+			m.ReleaseAll(id)
+		}
+		close(done)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i++
+				id := TxnID(r*100000 + i)
+				ok := true
+				if err := m.Lock(id, rel, Shared); err != nil {
+					ok = false
+				}
+				if ok {
+					for _, p := range parts {
+						if err := m.Lock(id, p, Shared); err != nil {
+							break
+						}
+					}
+				}
+				m.ReleaseAll(id)
+			}
+		}(r)
+	}
+	fin := make(chan struct{})
+	go func() { wg.Wait(); close(fin) }()
+	select {
+	case <-fin:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stress hang: %s", m.String())
+	}
+}

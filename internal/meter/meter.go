@@ -1,0 +1,95 @@
+// Package meter provides lightweight operation counters.
+//
+// Lehman and Carey validated their implementations by "recording and
+// examining the number of comparisons, the amount of data movement, the
+// number of hash function calls, and other miscellaneous operations"
+// (§3.1). This package is the equivalent instrumentation: index structures
+// and query operators increment a Counters value so tests can assert that
+// an algorithm does exactly the work it is supposed to do — neither more
+// nor less. Counters are plain integer fields; incrementing a nil *Counters
+// is legal and free, which is the moral equivalent of the paper compiling
+// the counters out for the timed runs.
+package meter
+
+import "fmt"
+
+// Counters accumulates the operation counts the paper tracked.
+type Counters struct {
+	Comparisons  int64 // key/value comparisons
+	DataMoves    int64 // element copies or shifts (slots moved)
+	HashCalls    int64 // hash function evaluations
+	NodesVisited int64 // index nodes touched
+	Allocations  int64 // nodes or buckets allocated
+	Rotations    int64 // tree rebalance rotations
+}
+
+// AddCompare records n comparisons. Safe on a nil receiver.
+func (c *Counters) AddCompare(n int64) {
+	if c != nil {
+		c.Comparisons += n
+	}
+}
+
+// AddMove records n element moves. Safe on a nil receiver.
+func (c *Counters) AddMove(n int64) {
+	if c != nil {
+		c.DataMoves += n
+	}
+}
+
+// AddHash records n hash-function calls. Safe on a nil receiver.
+func (c *Counters) AddHash(n int64) {
+	if c != nil {
+		c.HashCalls += n
+	}
+}
+
+// AddNode records n node visits. Safe on a nil receiver.
+func (c *Counters) AddNode(n int64) {
+	if c != nil {
+		c.NodesVisited += n
+	}
+}
+
+// AddAlloc records n structure allocations. Safe on a nil receiver.
+func (c *Counters) AddAlloc(n int64) {
+	if c != nil {
+		c.Allocations += n
+	}
+}
+
+// AddRotation records n rebalance rotations. Safe on a nil receiver.
+func (c *Counters) AddRotation(n int64) {
+	if c != nil {
+		c.Rotations += n
+	}
+}
+
+// Reset zeroes every counter. Safe on a nil receiver.
+func (c *Counters) Reset() {
+	if c != nil {
+		*c = Counters{}
+	}
+}
+
+// Add accumulates other into c. Safe on a nil receiver.
+func (c *Counters) Add(other Counters) {
+	if c == nil {
+		return
+	}
+	c.Comparisons += other.Comparisons
+	c.DataMoves += other.DataMoves
+	c.HashCalls += other.HashCalls
+	c.NodesVisited += other.NodesVisited
+	c.Allocations += other.Allocations
+	c.Rotations += other.Rotations
+}
+
+// String renders the counters in a compact single line.
+func (c *Counters) String() string {
+	if c == nil {
+		return "meter(nil)"
+	}
+	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d",
+		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations)
+}

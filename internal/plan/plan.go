@@ -1,0 +1,203 @@
+// Package plan implements the simplified query optimization the paper's
+// conclusions promise (§4): "query optimization in MM-DBMS should be
+// simpler than in conventional database systems, as the cost formulas are
+// less complicated... there is a more definite ordering of preference".
+//
+// Selection: a hash lookup (exact match only) is always faster than a tree
+// lookup, which is always faster than a sequential scan.
+//
+// Join: a precomputed join is always faster than the other methods; a Tree
+// Merge join is nearly always preferred when the T Tree indices already
+// exist. Otherwise Hash Join, with the two exceptions of §3.3.5: a Tree
+// Join when an index exists on the larger (inner) relation and the outer
+// is less than half its size, and Sort Merge when the semijoin selectivity
+// and duplicate percentage are both high. Non-equijoins use the ordering
+// of the data (Tree Join).
+//
+// Projection: hashing is the dominant duplicate-elimination method.
+package plan
+
+import "fmt"
+
+// CmpOp is a selection predicate operator.
+type CmpOp int
+
+// Predicate operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// AccessPath is a selection strategy.
+type AccessPath int
+
+// The three access paths of §4.
+const (
+	PathHashLookup AccessPath = iota
+	PathTreeLookup
+	PathTreeRange
+	PathSequentialScan
+)
+
+// String names the path.
+func (p AccessPath) String() string {
+	switch p {
+	case PathHashLookup:
+		return "hash lookup"
+	case PathTreeLookup:
+		return "tree lookup"
+	case PathTreeRange:
+		return "tree range scan"
+	default:
+		return "sequential scan"
+	}
+}
+
+// SelectionInput describes the available paths for a selection.
+type SelectionInput struct {
+	Op      CmpOp
+	HasHash bool // hash index on the predicate column
+	HasTree bool // order-preserving index on the predicate column
+}
+
+// ChooseSelection picks the access path by the §4 preference order.
+func ChooseSelection(in SelectionInput) AccessPath {
+	switch in.Op {
+	case Eq:
+		if in.HasHash {
+			return PathHashLookup // exact match: hash always fastest
+		}
+		if in.HasTree {
+			return PathTreeLookup
+		}
+	case Lt, Le, Gt, Ge:
+		// Range predicates can use the ordering of the data; hash
+		// structures are excluded from range queries (§3.2.2).
+		if in.HasTree {
+			return PathTreeRange
+		}
+	case Ne:
+		// "not equals" cannot make use of ordering (§3.3.5).
+	}
+	return PathSequentialScan
+}
+
+// JoinMethod is a join strategy.
+type JoinMethod int
+
+// The join methods of §3.3 plus the precomputed join of §2.1.
+const (
+	JoinPrecomputed JoinMethod = iota
+	JoinTreeMerge
+	JoinTree
+	JoinHash
+	JoinSortMerge
+	JoinNestedLoops
+)
+
+// String names the method as the paper does.
+func (j JoinMethod) String() string {
+	switch j {
+	case JoinPrecomputed:
+		return "precomputed join"
+	case JoinTreeMerge:
+		return "Tree Merge join"
+	case JoinTree:
+		return "Tree Join"
+	case JoinHash:
+		return "Hash Join"
+	case JoinSortMerge:
+		return "Sort Merge join"
+	default:
+		return "nested loops join"
+	}
+}
+
+// JoinInput describes a candidate equijoin.
+type JoinInput struct {
+	Equijoin       bool // false for <, <=, >, >= joins
+	HasPrecomputed bool // outer carries a tuple-pointer FK to inner
+	OuterTree      bool // T Tree exists on the outer join column
+	InnerTree      bool // T Tree exists on the inner join column
+	InnerHash      bool // hash index exists on the inner join column
+	OuterCard      int
+	InnerCard      int
+	// Statistics for the Sort Merge exception; negative when unknown.
+	DuplicatePct float64
+	SemijoinPct  float64
+	SkewedDups   bool
+}
+
+// ChooseJoin picks the join method by the §3.3.5 summary rules.
+func ChooseJoin(in JoinInput) JoinMethod {
+	if in.HasPrecomputed {
+		return JoinPrecomputed
+	}
+	if !in.Equijoin {
+		// Non-equijoins other than "not equals" use the ordering of the
+		// data: "the Tree Join should be used for such joins".
+		if in.InnerTree {
+			return JoinTree
+		}
+		return JoinNestedLoops
+	}
+	// Exception (2): both semijoin selectivity and duplicate percentage
+	// high — Sort Merge, particularly under a skewed distribution. The
+	// crossover thresholds come from Tests 4 and 5: ~60% duplicates
+	// (skewed) / ~80% (uniform) when indices would have to be built.
+	if in.DuplicatePct >= 0 && in.SemijoinPct >= 80 {
+		threshold := 80.0
+		if in.SkewedDups {
+			threshold = 60.0
+		}
+		if in.DuplicatePct >= threshold {
+			if in.OuterTree && in.InnerTree {
+				return JoinTreeMerge // satisfactory and already built
+			}
+			return JoinSortMerge
+		}
+	}
+	if in.OuterTree && in.InnerTree {
+		return JoinTreeMerge
+	}
+	// An existing hash index on the inner is always at least as good as
+	// building one.
+	if in.InnerHash {
+		return JoinHash
+	}
+	// Exception (1): an index on the larger (inner) relation and an outer
+	// less than half its size — Tree Join beats building a hash table.
+	if in.InnerTree && in.OuterCard*2 < in.InnerCard {
+		return JoinTree
+	}
+	return JoinHash
+}
+
+// Explain renders a one-line plan description.
+func Explain(kind string, choice fmt.Stringer, why string) string {
+	return fmt.Sprintf("%s: %s (%s)", kind, choice, why)
+}

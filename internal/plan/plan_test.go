@@ -1,0 +1,87 @@
+package plan
+
+import "testing"
+
+func TestSelectionPreferenceOrder(t *testing.T) {
+	cases := []struct {
+		in   SelectionInput
+		want AccessPath
+	}{
+		{SelectionInput{Op: Eq, HasHash: true, HasTree: true}, PathHashLookup},
+		{SelectionInput{Op: Eq, HasHash: false, HasTree: true}, PathTreeLookup},
+		{SelectionInput{Op: Eq}, PathSequentialScan},
+		{SelectionInput{Op: Lt, HasHash: true, HasTree: true}, PathTreeRange},
+		{SelectionInput{Op: Ge, HasHash: true}, PathSequentialScan}, // hash cannot range
+		{SelectionInput{Op: Ne, HasHash: true, HasTree: true}, PathSequentialScan},
+	}
+	for _, c := range cases {
+		if got := ChooseSelection(c.in); got != c.want {
+			t.Errorf("ChooseSelection(%+v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJoinPreferenceOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		in   JoinInput
+		want JoinMethod
+	}{
+		{"precomputed beats everything",
+			JoinInput{Equijoin: true, HasPrecomputed: true, OuterTree: true, InnerTree: true, DuplicatePct: -1, SemijoinPct: -1},
+			JoinPrecomputed},
+		{"both trees: tree merge",
+			JoinInput{Equijoin: true, OuterTree: true, InnerTree: true, DuplicatePct: -1, SemijoinPct: -1},
+			JoinTreeMerge},
+		{"no indices: hash join",
+			JoinInput{Equijoin: true, OuterCard: 30000, InnerCard: 30000, DuplicatePct: -1, SemijoinPct: -1},
+			JoinHash},
+		{"exception 1: small outer, inner tree",
+			JoinInput{Equijoin: true, InnerTree: true, OuterCard: 10000, InnerCard: 30000, DuplicatePct: -1, SemijoinPct: -1},
+			JoinTree},
+		{"exception 1 boundary: outer over half",
+			JoinInput{Equijoin: true, InnerTree: true, OuterCard: 20000, InnerCard: 30000, DuplicatePct: -1, SemijoinPct: -1},
+			JoinHash},
+		{"existing inner hash index wins over tree join",
+			JoinInput{Equijoin: true, InnerTree: true, InnerHash: true, OuterCard: 1000, InnerCard: 30000, DuplicatePct: -1, SemijoinPct: -1},
+			JoinHash},
+		{"exception 2: high dup skewed, no trees",
+			JoinInput{Equijoin: true, DuplicatePct: 70, SemijoinPct: 100, SkewedDups: true},
+			JoinSortMerge},
+		{"exception 2: 70% uniform dups below the 80% crossover",
+			JoinInput{Equijoin: true, DuplicatePct: 70, SemijoinPct: 100},
+			JoinHash},
+		{"exception 2 with trees available: tree merge",
+			JoinInput{Equijoin: true, OuterTree: true, InnerTree: true, DuplicatePct: 90, SemijoinPct: 100},
+			JoinTreeMerge},
+		{"non-equijoin uses tree join",
+			JoinInput{Equijoin: false, InnerTree: true, DuplicatePct: -1, SemijoinPct: -1},
+			JoinTree},
+		{"non-equijoin without tree: nested loops",
+			JoinInput{Equijoin: false, DuplicatePct: -1, SemijoinPct: -1},
+			JoinNestedLoops},
+	}
+	for _, c := range cases {
+		if got := ChooseJoin(c.in); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, p := range []AccessPath{PathHashLookup, PathTreeLookup, PathTreeRange, PathSequentialScan} {
+		if p.String() == "" || p.String() == "?" {
+			t.Errorf("AccessPath(%d) has no name", p)
+		}
+	}
+	for _, j := range []JoinMethod{JoinPrecomputed, JoinTreeMerge, JoinTree, JoinHash, JoinSortMerge, JoinNestedLoops} {
+		if j.String() == "" {
+			t.Errorf("JoinMethod(%d) has no name", j)
+		}
+	}
+	for _, o := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		if o.String() == "?" {
+			t.Errorf("CmpOp(%d) has no name", o)
+		}
+	}
+}

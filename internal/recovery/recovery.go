@@ -1,0 +1,227 @@
+// Package recovery implements the MM-DBMS recovery architecture of §2.4
+// and Figure 2: a stable log buffer that receives all log information
+// before the in-memory update, an active log device that folds committed
+// updates into a change-accumulation log and lazily maintains a disk copy
+// of the database (one file per partition — the unit of recovery), and a
+// two-phase restart that brings the working set into memory first (merging
+// unpropagated log records on the fly) while a background process reloads
+// the rest.
+//
+// The 1986 proposal assumes a battery-backed stable buffer and a hardware
+// log device. Here both are simulated: the Manager object *is* the stable
+// hardware — a crash is modeled by discarding every in-memory relation
+// while keeping the Manager and the disk-copy directory, then recovering
+// into fresh relations.
+package recovery
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// RecOp is a log record's operation type.
+type RecOp uint8
+
+// Log operations.
+const (
+	OpInsert RecOp = iota
+	OpUpdate
+	OpDelete
+)
+
+// Record is one logical log record. Ref values are carried as tuple IDs
+// (swizzled on replay).
+type Record struct {
+	LSN   uint64
+	Txn   uint64
+	Op    RecOp
+	Rel   string
+	Part  int    // routing: the partition holding the tuple at commit time
+	Tuple uint64 // tuple ID
+	Field int    // OpUpdate: which field
+	Vals  []storage.ValueImage
+}
+
+// PartKey names one partition of one relation.
+type PartKey struct {
+	Rel  string
+	Part int
+}
+
+// Manager is the stable log buffer plus the active log device's state.
+type Manager struct {
+	dir string
+
+	mu      sync.Mutex
+	nextLSN uint64
+	// stable holds each running transaction's records — the stable log
+	// buffer. "If the transaction aborts, then the log entry is removed
+	// and no undo is needed."
+	stable map[uint64][]*Record
+	// cal is the change-accumulation log: committed records not yet
+	// reflected in the disk-copy partition images, keyed by partition.
+	cal map[PartKey][]*Record
+}
+
+// NewManager creates a manager whose disk copy lives under dir.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	return &Manager{
+		dir:    dir,
+		stable: make(map[uint64][]*Record),
+		cal:    make(map[PartKey][]*Record),
+	}, nil
+}
+
+// Dir returns the disk-copy directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Append writes a record into the stable log buffer for txn, assigning its
+// LSN. Per §2.4 this happens before the actual update is applied to the
+// in-memory database. The returned record's Part may be patched by the
+// caller once placement is known (routing metadata, not payload).
+func (m *Manager) Append(txn uint64, rec Record) *Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextLSN++
+	rec.LSN = m.nextLSN
+	rec.Txn = txn
+	r := &rec
+	m.stable[txn] = append(m.stable[txn], r)
+	return r
+}
+
+// Abort discards txn's log entries; no undo is needed because updates are
+// deferred until commit.
+func (m *Manager) Abort(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.stable, txn)
+}
+
+// Commit releases txn's records to the log device: they move from the
+// stable buffer into the change-accumulation log, from which they will be
+// propagated to the disk copy.
+func (m *Manager) Commit(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.stable[txn] {
+		k := PartKey{Rel: r.Rel, Part: r.Part}
+		m.cal[k] = append(m.cal[k], r)
+	}
+	delete(m.stable, txn)
+}
+
+// PendingRecords returns how many committed records await propagation.
+func (m *Manager) PendingRecords() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, rs := range m.cal {
+		n += len(rs)
+	}
+	return n
+}
+
+func (m *Manager) imagePath(k PartKey) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s.%06d.img", k.Rel, k.Part))
+}
+
+// Checkpoint writes every partition of the given relations to the disk
+// copy and prunes change-accumulation records the images now cover.
+func (m *Manager) Checkpoint(rels ...*storage.Relation) error {
+	m.mu.Lock()
+	lsn := m.nextLSN
+	m.mu.Unlock()
+	for _, rel := range rels {
+		for _, p := range rel.Partitions() {
+			p.SetLSN(lsn)
+			img := p.Snapshot()
+			k := PartKey{Rel: rel.Name(), Part: p.ID()}
+			if err := writeFileAtomic(m.imagePath(k), storage.EncodePartition(img)); err != nil {
+				return err
+			}
+			m.prune(k, lsn)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) prune(k PartKey, lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.cal[k]
+	kept := rs[:0]
+	for _, r := range rs {
+		if r.LSN > lsn {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(m.cal, k)
+	} else {
+		m.cal[k] = kept
+	}
+}
+
+// records returns a copy of the unpropagated records for k with LSN above
+// the floor, in LSN order.
+func (m *Manager) records(k PartKey, floor uint64) []*Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Record
+	for _, r := range m.cal[k] {
+		if r.LSN > floor {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out
+}
+
+// DiskPartitions lists the partitions present in the disk copy.
+func (m *Manager) DiskPartitions() ([]PartKey, error) {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	var out []PartKey
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".img" {
+			continue
+		}
+		var k PartKey
+		base := name[:len(name)-len(".img")]
+		if n, err := fmt.Sscanf(base[len(base)-6:], "%d", &k.Part); n != 1 || err != nil {
+			continue
+		}
+		k.Rel = base[:len(base)-7] // strip ".NNNNNN"
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out, nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	return nil
+}

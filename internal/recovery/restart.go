@@ -1,0 +1,174 @@
+package recovery
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/storage"
+)
+
+// Restart rebuilds an in-memory database after a crash. Per §2.4, "each
+// partition that participates in the working set is read from the disk
+// copy of the database; the log device is checked for any updates to that
+// partition that have not yet been propagated to the disk copy; any
+// updates that exist are merged with the partition on the fly". Once the
+// working set is in, the rest of the database is read by a background
+// process while normal operation resumes.
+type Restart struct {
+	mgr    *Manager
+	loader *storage.Loader
+	rels   map[string]*storage.Relation
+	loaded map[PartKey]bool
+}
+
+// NewRestart begins recovery into the given (empty) relations; their
+// schemas must match the crashed database.
+func (m *Manager) NewRestart(rels ...*storage.Relation) *Restart {
+	r := &Restart{
+		mgr:    m,
+		loader: storage.NewLoader(rels...),
+		rels:   make(map[string]*storage.Relation, len(rels)),
+		loaded: make(map[PartKey]bool),
+	}
+	for _, rel := range rels {
+		r.rels[rel.Name()] = rel
+	}
+	return r
+}
+
+// LoadPartition brings one partition into memory: disk image plus any
+// unpropagated change-accumulation records merged on the fly.
+func (r *Restart) LoadPartition(k PartKey) error {
+	if r.loaded[k] {
+		return nil
+	}
+	if _, ok := r.rels[k.Rel]; !ok {
+		return fmt.Errorf("recovery: restart has no relation %q", k.Rel)
+	}
+	img, err := r.readImage(k)
+	if err != nil {
+		return err
+	}
+	for _, rec := range r.mgr.records(k, img.LSN) {
+		applyToImage(&img, rec)
+		if rec.LSN > img.LSN {
+			img.LSN = rec.LSN
+		}
+	}
+	if err := r.loader.LoadPartition(img); err != nil {
+		return err
+	}
+	r.loaded[k] = true
+	return nil
+}
+
+func (r *Restart) readImage(k PartKey) (storage.PartitionImage, error) {
+	data, err := os.ReadFile(r.mgr.imagePath(k))
+	if os.IsNotExist(err) {
+		// Partition created after the last checkpoint: replay starts from
+		// an empty image.
+		return storage.PartitionImage{Relation: k.Rel, PartID: k.Part}, nil
+	}
+	if err != nil {
+		return storage.PartitionImage{}, fmt.Errorf("recovery: %w", err)
+	}
+	return storage.DecodePartition(data)
+}
+
+// applyToImage folds one log record into a partition image. An update or
+// delete whose tuple is absent is skipped: the tuple was physically moved
+// to another partition after the record was routed, and that partition's
+// image (checkpointed after the move, hence after this record) already
+// reflects the change.
+func applyToImage(img *storage.PartitionImage, rec *Record) {
+	switch rec.Op {
+	case OpInsert:
+		img.Tuples = append(img.Tuples, storage.TupleImage{ID: rec.Tuple, Vals: rec.Vals})
+	case OpUpdate:
+		for i := range img.Tuples {
+			if img.Tuples[i].ID == rec.Tuple {
+				img.Tuples[i].Vals[rec.Field] = rec.Vals[0]
+				return
+			}
+		}
+	case OpDelete:
+		for i := range img.Tuples {
+			if img.Tuples[i].ID == rec.Tuple {
+				img.Tuples = append(img.Tuples[:i], img.Tuples[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// AllPartitions lists every partition recovery knows about: disk images
+// plus partitions that exist only in the change-accumulation log.
+func (r *Restart) AllPartitions() ([]PartKey, error) {
+	keys, err := r.mgr.DiskPartitions()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[PartKey]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	r.mgr.mu.Lock()
+	for k := range r.mgr.cal {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	r.mgr.mu.Unlock()
+	return keys, nil
+}
+
+// LoadWorkingSet loads the named partitions — the first phase of restart,
+// after which the current transactions' data is available.
+func (r *Restart) LoadWorkingSet(keys []PartKey) error {
+	for _, k := range keys {
+		if err := r.LoadPartition(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRemaining loads every partition not yet in memory — the background
+// phase of restart.
+func (r *Restart) LoadRemaining() error {
+	keys, err := r.AllPartitions()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := r.LoadPartition(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRemainingAsync runs LoadRemaining followed by Finish in a background
+// goroutine, mirroring the paper's "remainder of the database is read in
+// by a background process"; the result arrives on the returned channel.
+func (r *Restart) LoadRemainingAsync() <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		if err := r.LoadRemaining(); err != nil {
+			done <- err
+			return
+		}
+		done <- r.Finish()
+	}()
+	return done
+}
+
+// Finish resolves tuple-pointer (foreign key) fields once every partition
+// holding referenced tuples is in memory. Call after the final load phase.
+func (r *Restart) Finish() error {
+	return r.loader.Finish()
+}
+
+// Loaded reports whether partition k is in memory yet.
+func (r *Restart) Loaded(k PartKey) bool { return r.loaded[k] }

@@ -1,0 +1,117 @@
+package sqlparser
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column of a CREATE TABLE.
+type ColDef struct {
+	Name     string
+	Type     string // INT, FLOAT, STRING, BOOL, REF
+	RefTable string // for REF(table)
+}
+
+// CreateTable is CREATE TABLE name (cols..., PRIMARY KEY col [USING kind]).
+type CreateTable struct {
+	Name       string
+	Cols       []ColDef
+	PrimaryKey string
+	Using      string // index kind; empty = engine default
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is CREATE [UNIQUE] INDEX ON table (column) [USING kind].
+type CreateIndex struct {
+	Table  string
+	Column string
+	Using  string
+	Unique bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// ExprKind tags a literal expression.
+type ExprKind int
+
+// Literal kinds.
+const (
+	ExprNull ExprKind = iota
+	ExprInt
+	ExprFloat
+	ExprString
+	ExprBool
+	ExprRef
+)
+
+// Expr is a literal value, or a REF(table, column, value) pointer
+// expression resolved at execution time.
+type Expr struct {
+	Kind  ExprKind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+	Ref   *RefExpr
+}
+
+// RefExpr names a unique tuple: the row of Table whose Column equals Value.
+type RefExpr struct {
+	Table  string
+	Column string
+	Value  *Expr
+}
+
+// Insert is INSERT INTO table VALUES (...)[, (...)].
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+// Cond is one WHERE conjunct: column OP literal.
+type Cond struct {
+	Column string
+	Op     string // = != < <= > >=
+	Value  Expr
+}
+
+// Join is JOIN table ON left = right, where either side may be
+// table.column or table.SELF (tuple identity).
+type Join struct {
+	Table    string
+	LeftCol  string // column of the FROM table, or "" for SELF
+	RightCol string // column of the joined table, or "" for SELF
+}
+
+// Select is SELECT [DISTINCT] cols FROM table [JOIN ...] [WHERE ...]
+// [LIMIT n]; Explain marks EXPLAIN SELECT.
+type Select struct {
+	Explain  bool
+	Distinct bool
+	Cols     []string // empty = *
+	From     string
+	Join     *Join
+	Where    []Cond
+	Limit    int // -1 = none
+}
+
+func (*Select) stmt() {}
+
+// Update is UPDATE table SET col = expr [WHERE ...].
+type Update struct {
+	Table  string
+	Column string
+	Value  Expr
+	Where  []Cond
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where []Cond
+}
+
+func (*Delete) stmt() {}

@@ -1,0 +1,138 @@
+// Package sqlparser implements a small SQL dialect over the MM-DBMS:
+// CREATE TABLE / CREATE INDEX, INSERT, SELECT (with one JOIN, WHERE
+// conjunctions, DISTINCT, LIMIT), UPDATE, DELETE, and EXPLAIN. The parser
+// produces a plain AST; the mmdb package executes it through the same
+// planner as the fluent query API.
+//
+// The dialect's one extension is the REF(table, column, value) expression,
+// which resolves to a tuple pointer at execution time — the §2.1
+// foreign-key substitution needs a way to write pointers in text.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , . = < > <= >= != <> *
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex splits src into tokens; keywords stay as idents (the parser matches
+// them case-insensitively).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && isDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func isDigit(r rune) bool      { return r >= '0' && r <= '9' }
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRune(r rune) bool  { return isIdentStart(r) || isDigit(r) }
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexPunct() error {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		l.tokens = append(l.tokens, token{kind: tokPunct, text: two, pos: start})
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '.', '=', '<', '>', '*':
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}

@@ -1,0 +1,501 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// kw matches a case-insensitive keyword without consuming on failure.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return p.errf("expected %s, got %q", strings.ToUpper(word), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.kw("create"):
+		if p.kw("table") {
+			return p.createTable()
+		}
+		unique := p.kw("unique")
+		if p.kw("index") {
+			return p.createIndex(unique)
+		}
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	case p.kw("insert"):
+		return p.insert()
+	case p.kw("explain"):
+		if err := p.expectKw("select"); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Explain = true
+		return sel, nil
+	case p.kw("select"):
+		return p.selectStmt()
+	case p.kw("update"):
+		return p.update()
+	case p.kw("delete"):
+		return p.deleteStmt()
+	default:
+		return nil, p.errf("expected a statement, got %q", p.peek().text)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.kw("primary") {
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			if ct.PrimaryKey, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if p.kw("using") {
+				if ct.Using, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			def := ColDef{Name: col, Type: strings.ToUpper(typ)}
+			if def.Type == "REF" {
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				if def.RefTable, err = p.ident(); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			ct.Cols = append(ct.Cols, def)
+		}
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if ct.PrimaryKey == "" {
+		return nil, p.errf("CREATE TABLE needs PRIMARY KEY <col> — every relation is accessed through an index")
+	}
+	return ct, nil
+}
+
+func (p *parser) createIndex(unique bool) (Statement, error) {
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Table: table, Column: col, Unique: unique}
+	if p.kw("using") {
+		if ci.Using, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	return ci, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+// expr parses a literal or REF(table, column, value).
+func (p *parser) expr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Expr{}, p.errf("bad number %q", t.text)
+			}
+			return Expr{Kind: ExprFloat, Float: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Expr{}, p.errf("bad number %q", t.text)
+		}
+		return Expr{Kind: ExprInt, Int: n}, nil
+	case tokString:
+		p.i++
+		return Expr{Kind: ExprString, Str: t.text}, nil
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "null"):
+			p.i++
+			return Expr{Kind: ExprNull}, nil
+		case strings.EqualFold(t.text, "true"):
+			p.i++
+			return Expr{Kind: ExprBool, Bool: true}, nil
+		case strings.EqualFold(t.text, "false"):
+			p.i++
+			return Expr{Kind: ExprBool, Bool: false}, nil
+		case strings.EqualFold(t.text, "ref"):
+			p.i++
+			return p.refExpr()
+		}
+	}
+	return Expr{}, p.errf("expected a value, got %q", t.text)
+}
+
+func (p *parser) refExpr() (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return Expr{}, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return Expr{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return Expr{}, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return Expr{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return Expr{}, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return Expr{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return Expr{}, err
+	}
+	return Expr{Kind: ExprRef, Ref: &RefExpr{Table: table, Column: col, Value: &val}}, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.kw("distinct")
+	// Column list or *.
+	if p.punct("*") {
+		// all columns
+	} else {
+		for {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			sel.Cols = append(sel.Cols, col)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	var err error
+	if sel.From, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.kw("join") {
+		if sel.Join, err = p.join(sel.From); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("where") {
+		if sel.Where, err = p.whereConds(); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errf("LIMIT needs a number")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// qualifiedName parses ident[.ident].
+func (p *parser) qualifiedName() (string, error) {
+	a, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.punct(".") {
+		b, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return a + "." + b, nil
+	}
+	return a, nil
+}
+
+// join parses: table ON side = side, where a side is table.column or
+// table.SELF. The FROM-table side becomes LeftCol, the joined side
+// RightCol (empty string = SELF).
+func (p *parser) join(from string) (*Join, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	t1, c1, err := p.joinSide()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	t2, c2, err := p.joinSide()
+	if err != nil {
+		return nil, err
+	}
+	j := &Join{Table: table}
+	switch {
+	case t1 == from && t2 == table:
+		j.LeftCol, j.RightCol = c1, c2
+	case t1 == table && t2 == from:
+		j.LeftCol, j.RightCol = c2, c1
+	default:
+		return nil, p.errf("join condition must relate %s and %s", from, table)
+	}
+	return j, nil
+}
+
+// joinSide parses table.column or table.SELF; returns column "" for SELF.
+func (p *parser) joinSide() (table, col string, err error) {
+	if table, err = p.ident(); err != nil {
+		return "", "", err
+	}
+	if err = p.expectPunct("."); err != nil {
+		return "", "", err
+	}
+	if col, err = p.ident(); err != nil {
+		return "", "", err
+	}
+	if strings.EqualFold(col, "self") {
+		col = ""
+	}
+	return table, col, nil
+}
+
+func (p *parser) whereConds() ([]Cond, error) {
+	var out []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokPunct {
+			return nil, p.errf("expected an operator, got %q", t.text)
+		}
+		op := t.text
+		switch op {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			if op == "<>" {
+				op = "!="
+			}
+		default:
+			return nil, p.errf("bad operator %q", op)
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Cond{Column: col, Op: op, Value: val})
+		if p.kw("and") {
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) update() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table, Column: col, Value: val}
+	if p.kw("where") {
+		if u.Where, err = p.whereConds(); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if p.kw("where") {
+		if d.Where, err = p.whereConds(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,162 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestCreateTable(t *testing.T) {
+	st := parse(t, `CREATE TABLE emp (name STRING, id INT, age INT, dept REF(dept), PRIMARY KEY id USING ttree)`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "emp" || len(ct.Cols) != 4 || ct.PrimaryKey != "id" || ct.Using != "ttree" {
+		t.Fatalf("%+v", ct)
+	}
+	if ct.Cols[3].Type != "REF" || ct.Cols[3].RefTable != "dept" {
+		t.Fatalf("ref col: %+v", ct.Cols[3])
+	}
+}
+
+func TestCreateTableRequiresPrimaryKey(t *testing.T) {
+	if _, err := Parse(`CREATE TABLE t (a INT)`); err == nil || !strings.Contains(err.Error(), "PRIMARY KEY") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCreateIndex(t *testing.T) {
+	st := parse(t, `CREATE UNIQUE INDEX ON emp (age) USING mlh`)
+	ci := st.(*CreateIndex)
+	if ci.Table != "emp" || ci.Column != "age" || !ci.Unique || ci.Using != "mlh" {
+		t.Fatalf("%+v", ci)
+	}
+	ci = parse(t, `create index on emp (name)`).(*CreateIndex)
+	if ci.Unique || ci.Using != "" {
+		t.Fatalf("%+v", ci)
+	}
+}
+
+func TestInsert(t *testing.T) {
+	st := parse(t, `INSERT INTO emp VALUES ('Dave', 23, 24.5, NULL, true, REF(dept, id, 459)), ('O''Brien', -1, 0.0, null, false, null)`)
+	ins := st.(*Insert)
+	if ins.Table != "emp" || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	r := ins.Rows[0]
+	if r[0].Kind != ExprString || r[0].Str != "Dave" {
+		t.Fatalf("str: %+v", r[0])
+	}
+	if r[1].Kind != ExprInt || r[1].Int != 23 {
+		t.Fatalf("int: %+v", r[1])
+	}
+	if r[2].Kind != ExprFloat || r[2].Float != 24.5 {
+		t.Fatalf("float: %+v", r[2])
+	}
+	if r[3].Kind != ExprNull || r[4].Kind != ExprBool || !r[4].Bool {
+		t.Fatalf("null/bool: %+v %+v", r[3], r[4])
+	}
+	ref := r[5]
+	if ref.Kind != ExprRef || ref.Ref.Table != "dept" || ref.Ref.Column != "id" || ref.Ref.Value.Int != 459 {
+		t.Fatalf("ref: %+v", ref)
+	}
+	if ins.Rows[1][0].Str != "O'Brien" {
+		t.Fatalf("escape: %q", ins.Rows[1][0].Str)
+	}
+	if ins.Rows[1][1].Int != -1 {
+		t.Fatalf("negative: %+v", ins.Rows[1][1])
+	}
+}
+
+func TestSelectFull(t *testing.T) {
+	st := parse(t, `EXPLAIN SELECT DISTINCT emp.name, dept.name FROM emp JOIN dept ON emp.dept = dept.SELF WHERE age > 65 AND id != 3 LIMIT 10`)
+	sel := st.(*Select)
+	if !sel.Explain || !sel.Distinct || sel.From != "emp" || sel.Limit != 10 {
+		t.Fatalf("%+v", sel)
+	}
+	if len(sel.Cols) != 2 || sel.Cols[0] != "emp.name" {
+		t.Fatalf("cols: %v", sel.Cols)
+	}
+	if sel.Join == nil || sel.Join.Table != "dept" || sel.Join.LeftCol != "dept" || sel.Join.RightCol != "" {
+		t.Fatalf("join: %+v", sel.Join)
+	}
+	if len(sel.Where) != 2 || sel.Where[0].Op != ">" || sel.Where[1].Op != "!=" {
+		t.Fatalf("where: %+v", sel.Where)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	sel := parse(t, `SELECT * FROM emp`).(*Select)
+	if len(sel.Cols) != 0 || sel.From != "emp" || sel.Join != nil || sel.Limit != -1 {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestSelectJoinReversedCondition(t *testing.T) {
+	// dept.SELF = emp.dept must normalize the same way as the mirror form.
+	sel := parse(t, `SELECT * FROM emp JOIN dept ON dept.SELF = emp.dept`).(*Select)
+	if sel.Join.LeftCol != "dept" || sel.Join.RightCol != "" {
+		t.Fatalf("%+v", sel.Join)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	u := parse(t, `UPDATE emp SET age = 25 WHERE id = 23`).(*Update)
+	if u.Table != "emp" || u.Column != "age" || u.Value.Int != 25 || len(u.Where) != 1 {
+		t.Fatalf("%+v", u)
+	}
+	d := parse(t, `DELETE FROM emp WHERE age >= 65`).(*Delete)
+	if d.Table != "emp" || len(d.Where) != 1 || d.Where[0].Op != ">=" {
+		t.Fatalf("%+v", d)
+	}
+	d = parse(t, `delete from emp`).(*Delete)
+	if len(d.Where) != 0 {
+		t.Fatalf("%+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEC * FROM emp`,
+		`SELECT * FROM`,
+		`SELECT * FROM emp WHERE`,
+		`SELECT * FROM emp WHERE age !! 5`,
+		`SELECT * FROM emp extra`,
+		`INSERT INTO emp`,
+		`INSERT INTO emp VALUES ('unterminated)`,
+		`CREATE emp (a INT)`,
+		`CREATE TABLE emp (a REF, PRIMARY KEY a)`,
+		`SELECT * FROM a JOIN b ON c.x = d.y`,
+		`UPDATE emp SET`,
+		`SELECT * FROM emp LIMIT x`,
+		`SELECT * FROM emp WHERE a = 'x' OR b = 'y'`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	sel := parse(t, "SELECT *\n  FROM emp -- trailing comment\n").(*Select)
+	if sel.From != "emp" {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select distinct name from emp where age >= 30 limit 5`); err != nil {
+		t.Fatal(err)
+	}
+}

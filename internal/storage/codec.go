@@ -1,0 +1,311 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The codec serializes partition images for the disk copy of the database
+// (§2.4, Figure 2). Ref values are swizzled to tuple IDs on disk and
+// resolved back to pointers by the Loader after all working-set partitions
+// are in memory.
+
+// ValueImage is the on-disk form of a Value.
+type ValueImage struct {
+	Type  Type
+	Num   uint64 // Int/Float/Bool payload
+	Str   string // Str payload
+	RefID uint64 // Ref payload (tuple ID)
+}
+
+// TupleImage is the on-disk form of a Tuple.
+type TupleImage struct {
+	ID   uint64
+	Vals []ValueImage
+}
+
+// PartitionImage is the on-disk form of one partition — the paper's unit
+// of recovery.
+type PartitionImage struct {
+	Relation string
+	PartID   int
+	LSN      uint64
+	Tuples   []TupleImage
+}
+
+// ImageOf captures a value for serialization.
+func ImageOf(v Value) ValueImage {
+	switch v.Type() {
+	case Ref:
+		return ValueImage{Type: Ref, RefID: v.Ref().ID()}
+	case Str:
+		return ValueImage{Type: Str, Str: v.str}
+	default:
+		return ValueImage{Type: v.typ, Num: v.num}
+	}
+}
+
+// Snapshot captures the partition's live tuples as an image.
+func (p *Partition) Snapshot() PartitionImage {
+	img := PartitionImage{Relation: p.rel.name, PartID: p.id, LSN: p.LSN()}
+	p.scan(func(t *Tuple) bool {
+		ti := TupleImage{ID: t.id, Vals: make([]ValueImage, len(t.vals))}
+		for i, v := range t.vals {
+			ti.Vals[i] = ImageOf(v)
+		}
+		img.Tuples = append(img.Tuples, ti)
+		return true
+	})
+	return img
+}
+
+const codecMagic = uint32(0x4d4d4442) // "MMDB"
+
+// EncodePartition serializes a partition image.
+func EncodePartition(img PartitionImage) []byte {
+	buf := make([]byte, 0, 64+len(img.Tuples)*32)
+	buf = binary.BigEndian.AppendUint32(buf, codecMagic)
+	buf = appendString(buf, img.Relation)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(img.PartID))
+	buf = binary.BigEndian.AppendUint64(buf, img.LSN)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(img.Tuples)))
+	for _, t := range img.Tuples {
+		buf = binary.BigEndian.AppendUint64(buf, t.ID)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Vals)))
+		for _, v := range t.Vals {
+			buf = append(buf, byte(v.Type))
+			switch v.Type {
+			case Null:
+			case Str:
+				buf = appendString(buf, v.Str)
+			case Ref:
+				buf = binary.BigEndian.AppendUint64(buf, v.RefID)
+			default:
+				buf = binary.BigEndian.AppendUint64(buf, v.Num)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodePartition parses a serialized partition image.
+func DecodePartition(data []byte) (PartitionImage, error) {
+	d := decoder{buf: data}
+	var img PartitionImage
+	if magic := d.uint32(); magic != codecMagic {
+		return img, fmt.Errorf("storage: bad partition image magic %#x", magic)
+	}
+	img.Relation = d.string()
+	img.PartID = int(d.uint32())
+	img.LSN = d.uint64()
+	n := int(d.uint32())
+	if d.err == nil && n > len(data) { // cheap sanity bound: >= 1 byte/tuple
+		return img, fmt.Errorf("storage: implausible tuple count %d", n)
+	}
+	img.Tuples = make([]TupleImage, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t := TupleImage{ID: d.uint64()}
+		nf := int(d.uint16())
+		t.Vals = make([]ValueImage, 0, nf)
+		for f := 0; f < nf && d.err == nil; f++ {
+			v := ValueImage{Type: Type(d.byte())}
+			switch v.Type {
+			case Null:
+			case Str:
+				v.Str = d.string()
+			case Ref:
+				v.RefID = d.uint64()
+			case Int, Float, Bool:
+				v.Num = d.uint64()
+			default:
+				return img, fmt.Errorf("storage: bad value type %d in tuple %d", v.Type, t.ID)
+			}
+			t.Vals = append(t.Vals, v)
+		}
+		img.Tuples = append(img.Tuples, t)
+	}
+	if d.err != nil {
+		return img, d.err
+	}
+	if len(d.buf) != 0 {
+		return img, fmt.Errorf("storage: %d trailing bytes after partition image", len(d.buf))
+	}
+	return img, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("storage: truncated partition image (need %d bytes, have %d)", n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) string() string {
+	n := int(d.uint32())
+	if d.err == nil && n > len(d.buf) {
+		d.err = fmt.Errorf("storage: truncated string (need %d bytes, have %d)", n, len(d.buf))
+		return ""
+	}
+	b := d.take(n)
+	return string(b)
+}
+
+// valueFromImage rebuilds a non-Ref value. Ref values are resolved by the
+// Loader once all tuples exist.
+func valueFromImage(v ValueImage) Value {
+	switch v.Type {
+	case Str:
+		return StringValue(v.Str)
+	case Ref:
+		return NullValue // patched by Loader.Finish
+	default:
+		return Value{typ: v.Type, num: v.Num}
+	}
+}
+
+// Loader rebuilds relations from partition images, resolving Ref fields
+// (pointer swizzling) once every required tuple is present. Load order is
+// unconstrained — the recovery manager loads working-set partitions first
+// and the rest in the background.
+type Loader struct {
+	rels    map[string]*Relation
+	byID    map[uint64]*Tuple
+	pending []pendingRef
+}
+
+type pendingRef struct {
+	t     *Tuple
+	field int
+	refID uint64
+}
+
+// NewLoader creates a loader over the given relations.
+func NewLoader(rels ...*Relation) *Loader {
+	ld := &Loader{rels: make(map[string]*Relation), byID: make(map[uint64]*Tuple)}
+	for _, r := range rels {
+		ld.rels[r.name] = r
+	}
+	return ld
+}
+
+// LoadPartition inserts every tuple of the image into its relation,
+// preserving the partition ID and LSN. Ref fields stay unresolved until
+// Finish.
+func (ld *Loader) LoadPartition(img PartitionImage) error {
+	r, ok := ld.rels[img.Relation]
+	if !ok {
+		return fmt.Errorf("storage: image references unknown relation %q", img.Relation)
+	}
+	p := r.ensurePartition(img.PartID)
+	p.SetLSN(img.LSN)
+	for _, ti := range img.Tuples {
+		if _, dup := ld.byID[ti.ID]; dup {
+			return fmt.Errorf("storage: duplicate tuple ID %d in image %s/%d", ti.ID, img.Relation, img.PartID)
+		}
+		vals := make([]Value, len(ti.Vals))
+		for i, vi := range ti.Vals {
+			vals[i] = valueFromImage(vi)
+		}
+		t, err := r.loadInto(p, ti.ID, vals)
+		if err != nil {
+			return err
+		}
+		ld.byID[ti.ID] = t
+		for i, vi := range ti.Vals {
+			if vi.Type == Ref {
+				ld.pending = append(ld.pending, pendingRef{t: t, field: i, refID: vi.RefID})
+			}
+		}
+	}
+	return nil
+}
+
+// TupleByID returns a loaded tuple by its ID.
+func (ld *Loader) TupleByID(id uint64) (*Tuple, bool) {
+	t, ok := ld.byID[id]
+	return t, ok
+}
+
+// Finish resolves all pending Ref fields. Every referenced tuple must have
+// been loaded.
+func (ld *Loader) Finish() error {
+	for _, p := range ld.pending {
+		target, ok := ld.byID[p.refID]
+		if !ok {
+			return fmt.Errorf("storage: tuple %d field %d references missing tuple %d", p.t.id, p.field, p.refID)
+		}
+		p.t.vals[p.field] = RefValue(target)
+	}
+	ld.pending = nil
+	return nil
+}
+
+// ensurePartition grows the relation's partition list so partition id
+// exists, creating empty partitions as needed.
+func (r *Relation) ensurePartition(id int) *Partition {
+	for len(r.parts) <= id {
+		r.newPartition()
+	}
+	return r.parts[id]
+}
+
+// loadInto places a tuple with a known ID into a specific partition,
+// bypassing observers (indices are rebuilt after reload).
+func (r *Relation) loadInto(p *Partition, id uint64, vals []Value) (*Tuple, error) {
+	if err := r.schema.Validate(vals); err != nil {
+		return nil, fmt.Errorf("load into %s: %w", r.name, err)
+	}
+	t := &Tuple{id: id, vals: vals}
+	p.place(t)
+	r.count++
+	r.ids.Reserve(id)
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package storage
+
+import "sync/atomic"
+
+// DefaultSlotsPerPartition and DefaultHeapPerPartition size a partition at
+// roughly "one or two disk tracks" (§2.1), the paper's unit of recovery.
+const (
+	DefaultSlotsPerPartition = 256
+	DefaultHeapPerPartition  = 48 * 1024
+)
+
+// Config controls partition sizing for a relation.
+type Config struct {
+	SlotsPerPartition int // tuple slots per partition
+	HeapPerPartition  int // heap-space bytes per partition (var-length fields)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlotsPerPartition <= 0 {
+		c.SlotsPerPartition = DefaultSlotsPerPartition
+	}
+	if c.HeapPerPartition <= 0 {
+		c.HeapPerPartition = DefaultHeapPerPartition
+	}
+	return c
+}
+
+// Partition is the unit of recovery and locking: a group of tuple slots
+// plus heap space for variable-length fields. Tuples are grouped in
+// partitions for space management and recovery, not for clustering —
+// direct addressability makes physical contiguity irrelevant to query
+// processing (§2.1).
+type Partition struct {
+	id       int
+	rel      *Relation
+	slots    []*Tuple
+	free     []int // indexes of reusable slots
+	live     int
+	heapCap  int
+	heapUsed int
+	lsn      uint64 // highest log sequence number applied; used by recovery
+}
+
+// ID returns the partition's position within its relation.
+func (p *Partition) ID() int { return p.id }
+
+// Relation returns the owning relation.
+func (p *Partition) Relation() *Relation { return p.rel }
+
+// Live returns the number of live tuples in the partition.
+func (p *Partition) Live() int { return p.live }
+
+// HeapUsed returns the heap-space bytes in use.
+func (p *Partition) HeapUsed() int { return p.heapUsed }
+
+// HeapCap returns the heap-space capacity in bytes.
+func (p *Partition) HeapCap() int { return p.heapCap }
+
+// LSN returns the highest log sequence number applied to this partition.
+func (p *Partition) LSN() uint64 { return atomic.LoadUint64(&p.lsn) }
+
+// SetLSN records the highest log sequence number applied to this
+// partition; the recovery manager calls this after each propagated update.
+func (p *Partition) SetLSN(lsn uint64) { atomic.StoreUint64(&p.lsn, lsn) }
+
+// hasRoomFor reports whether the partition can take one more tuple with
+// the given heap footprint.
+func (p *Partition) hasRoomFor(heapBytes int) bool {
+	if p.heapUsed+heapBytes > p.heapCap {
+		return false
+	}
+	return len(p.free) > 0 || len(p.slots) < cap(p.slots)
+}
+
+// place stores a tuple into a free slot. The caller guarantees room.
+func (p *Partition) place(t *Tuple) {
+	var slot int
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.slots[slot] = t
+	} else {
+		slot = len(p.slots)
+		p.slots = append(p.slots, t)
+	}
+	t.part = p
+	t.slot = slot
+	p.live++
+	p.heapUsed += t.heapBytes()
+}
+
+// remove frees the tuple's slot and heap space. The tuple struct itself
+// survives as long as indices point at it; only the partition bookkeeping
+// changes.
+func (p *Partition) remove(t *Tuple) {
+	p.slots[t.slot] = nil
+	p.free = append(p.free, t.slot)
+	p.live--
+	p.heapUsed -= t.heapBytes()
+}
+
+// scan visits every live tuple in the partition (forwarding stubs are
+// skipped: the tuple is visited at its current home).
+func (p *Partition) scan(fn func(*Tuple) bool) bool {
+	for _, t := range p.slots {
+		if t == nil || t.dead || t.forward != nil {
+			continue
+		}
+		if !fn(t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// IDGen issues database-unique tuple identifiers.
+type IDGen struct{ next uint64 }
+
+// NewIDGen returns a generator whose first ID is 1.
+func NewIDGen() *IDGen { return &IDGen{next: 0} }
+
+// Next returns the next unique ID.
+func (g *IDGen) Next() uint64 { return atomic.AddUint64(&g.next, 1) }
+
+// Reserve advances the generator so it never reissues IDs at or below id;
+// the recovery loader calls this after reloading tuples with saved IDs.
+func (g *IDGen) Reserve(id uint64) {
+	for {
+		cur := atomic.LoadUint64(&g.next)
+		if cur >= id {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&g.next, cur, id) {
+			return
+		}
+	}
+}
+
+// Observer is notified of tuple-level changes; the engine registers index
+// maintainers and the recovery log writer through this interface.
+type Observer interface {
+	TupleInserted(t *Tuple)
+	// TupleDeleted fires before the slot is reclaimed; t is still readable.
+	TupleDeleted(t *Tuple)
+	// TupleUpdating fires before field f changes to v, while the tuple
+	// still carries its old values — the window in which an index can
+	// locate the entry by its current key.
+	TupleUpdating(t *Tuple, f int, v Value)
+	// TupleUpdated fires after the change; old holds the prior field values.
+	TupleUpdated(t *Tuple, old []Value)
+}
+
+// Relation is a memory-resident relation: a schema plus a set of
+// partitions. Relations are not directly traversable by queries — all
+// query access is through an index (§2.1); ScanPhysical exists for index
+// construction and recovery only.
+type Relation struct {
+	name         string
+	schema       *Schema
+	cfg          Config
+	parts        []*Partition
+	count        int
+	ids          *IDGen
+	observers    []Observer
+	insertChecks []func(vals []Value) error
+	updateChecks []func(t *Tuple, f int, v Value) error
+}
+
+// AddInsertCheck registers a validator run before every insert; a non-nil
+// error rejects the insert. The engine uses this to enforce unique
+// indices at the storage layer, where every write path converges.
+func (r *Relation) AddInsertCheck(fn func(vals []Value) error) {
+	r.insertChecks = append(r.insertChecks, fn)
+}
+
+// AddUpdateCheck registers a validator run before every field update.
+func (r *Relation) AddUpdateCheck(fn func(t *Tuple, f int, v Value) error) {
+	r.updateChecks = append(r.updateChecks, fn)
+}
+
+// NewRelation creates an empty relation. ids may be shared across
+// relations so tuple IDs are database-unique (required for Ref values).
+func NewRelation(name string, schema *Schema, cfg Config, ids *IDGen) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: relation name must be non-empty")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("storage: relation %q needs a schema", name)
+	}
+	if ids == nil {
+		ids = NewIDGen()
+	}
+	return &Relation{name: name, schema: schema, cfg: cfg.withDefaults(), ids: ids}, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Cardinality returns the number of live tuples.
+func (r *Relation) Cardinality() int { return r.count }
+
+// Partitions returns the relation's partitions; the lock manager and
+// recovery manager operate at this granularity.
+func (r *Relation) Partitions() []*Partition { return r.parts }
+
+// Observe registers an observer for tuple changes.
+func (r *Relation) Observe(o Observer) { r.observers = append(r.observers, o) }
+
+// Insert validates vals against the schema, stores a new tuple in a
+// partition with room, and notifies observers. The returned pointer is
+// stable for the tuple's lifetime.
+func (r *Relation) Insert(vals []Value) (*Tuple, error) {
+	if err := r.schema.Validate(vals); err != nil {
+		return nil, fmt.Errorf("insert into %s: %w", r.name, err)
+	}
+	for _, check := range r.insertChecks {
+		if err := check(vals); err != nil {
+			return nil, fmt.Errorf("insert into %s: %w", r.name, err)
+		}
+	}
+	t := &Tuple{id: r.ids.Next(), vals: append([]Value(nil), vals...)}
+	r.placeTuple(t)
+	r.count++
+	for _, o := range r.observers {
+		o.TupleInserted(t)
+	}
+	return t, nil
+}
+
+// placeTuple finds (or creates) a partition with room and places t there.
+func (r *Relation) placeTuple(t *Tuple) {
+	need := t.heapBytes()
+	for i := len(r.parts) - 1; i >= 0; i-- {
+		if r.parts[i].hasRoomFor(need) {
+			r.parts[i].place(t)
+			return
+		}
+		// Only walk back a few partitions before giving up and growing;
+		// scanning every partition on every insert would be quadratic.
+		if len(r.parts)-i >= 4 {
+			break
+		}
+	}
+	p := r.newPartition()
+	p.place(t)
+}
+
+func (r *Relation) newPartition() *Partition {
+	p := &Partition{
+		id:      len(r.parts),
+		rel:     r,
+		slots:   make([]*Tuple, 0, r.cfg.SlotsPerPartition),
+		heapCap: r.cfg.HeapPerPartition,
+	}
+	r.parts = append(r.parts, p)
+	return p
+}
+
+// Delete removes the tuple from the relation. Observers (index
+// maintainers) are notified before the slot is reclaimed. Deleting a
+// moved tuple removes its current home; deleting twice is an error.
+func (r *Relation) Delete(t *Tuple) error {
+	t = t.Resolve()
+	if t == nil || t.dead {
+		return fmt.Errorf("delete from %s: tuple already dead", r.name)
+	}
+	if t.part == nil || t.part.rel != r {
+		return fmt.Errorf("delete from %s: tuple belongs to another relation", r.name)
+	}
+	for _, o := range r.observers {
+		o.TupleDeleted(t)
+	}
+	t.dead = true
+	t.part.remove(t)
+	r.count--
+	return nil
+}
+
+// Update replaces field f of tuple t with v. If a growing variable-length
+// value overflows the partition's heap space, the tuple is moved to a
+// partition with room and a forwarding address is left in its old position
+// (§2.1 footnote 1); existing *Tuple pointers remain valid through
+// Resolve.
+func (r *Relation) Update(t *Tuple, f int, v Value) error {
+	t = t.Resolve()
+	if t == nil || t.dead {
+		return fmt.Errorf("update %s: tuple is dead", r.name)
+	}
+	if t.part == nil || t.part.rel != r {
+		return fmt.Errorf("update %s: tuple belongs to another relation", r.name)
+	}
+	if f < 0 || f >= r.schema.Arity() {
+		return fmt.Errorf("update %s: field %d out of range", r.name, f)
+	}
+	def := r.schema.Field(f)
+	if !v.IsNull() && v.Type() != def.Type {
+		return fmt.Errorf("update %s: field %q wants %s, got %s", r.name, def.Name, def.Type, v.Type())
+	}
+	for _, check := range r.updateChecks {
+		if err := check(t, f, v); err != nil {
+			return fmt.Errorf("update %s: %w", r.name, err)
+		}
+	}
+	old := append([]Value(nil), t.vals...)
+	for _, o := range r.observers {
+		o.TupleUpdating(t, f, v)
+	}
+	delta := v.HeapBytes() - t.vals[f].HeapBytes()
+	if delta > 0 && t.part.heapUsed+delta > t.part.heapCap {
+		r.moveTuple(t, f, v)
+	} else {
+		t.part.heapUsed += delta
+		t.vals[f] = v
+	}
+	for _, o := range r.observers {
+		o.TupleUpdated(t.Resolve(), old)
+	}
+	return nil
+}
+
+// moveTuple relocates t (with field f set to v) to a partition with room,
+// leaving a forwarding stub in the old position. The logical tuple keeps
+// its ID.
+func (r *Relation) moveTuple(t *Tuple, f int, v Value) {
+	moved := &Tuple{id: t.id, vals: append([]Value(nil), t.vals...)}
+	moved.vals[f] = v
+	// Free the old copy's heap usage but keep its slot occupied by the
+	// forwarding stub, mirroring the paper's "forwarding address left in
+	// its old position".
+	t.part.heapUsed -= t.heapBytes()
+	t.vals = nil
+	t.forward = moved
+	r.placeTuple(moved)
+}
+
+// ScanPhysical visits every live tuple. It exists for index construction,
+// recovery checkpointing, and tests; query execution must reach tuples
+// through an index (§2.1).
+func (r *Relation) ScanPhysical(fn func(*Tuple) bool) {
+	for _, p := range r.parts {
+		if !p.scan(fn) {
+			return
+		}
+	}
+}
+
+// InsertLoaded re-creates a tuple with a known ID during recovery reload.
+// It bypasses observers (indices are rebuilt after load) but performs
+// normal schema validation and placement.
+func (r *Relation) InsertLoaded(id uint64, vals []Value) (*Tuple, error) {
+	if err := r.schema.Validate(vals); err != nil {
+		return nil, fmt.Errorf("load into %s: %w", r.name, err)
+	}
+	t := &Tuple{id: id, vals: append([]Value(nil), vals...)}
+	r.placeTuple(t)
+	r.count++
+	r.ids.Reserve(id)
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package storage
+
+import "fmt"
+
+// ColRef names one output column of a temporary list: field Field of the
+// Source-th tuple pointer in each row.
+type ColRef struct {
+	Source int    // position within the row's tuple-pointer vector
+	Field  int    // field within that source tuple
+	Name   string // display name
+}
+
+// Descriptor is a temporary list's result descriptor (§2.3): it identifies
+// which fields of the source tuples are part of the result, taking the
+// place of projection — no width reduction is ever done, tuples are only
+// pointed to.
+type Descriptor struct {
+	Sources []string // names of the source relations, one per row slot
+	Cols    []ColRef
+}
+
+// Validate checks internal consistency.
+func (d Descriptor) Validate() error {
+	if len(d.Sources) == 0 {
+		return fmt.Errorf("storage: descriptor needs at least one source")
+	}
+	for _, c := range d.Cols {
+		if c.Source < 0 || c.Source >= len(d.Sources) {
+			return fmt.Errorf("storage: column %q references source %d of %d", c.Name, c.Source, len(d.Sources))
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the position of the named output column, or -1.
+func (d Descriptor) ColIndex(name string) int {
+	for i, c := range d.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one entry of a temporary list: a vector of tuple pointers, one
+// per source relation (a selection result has one, a two-way join result
+// has two, and so on).
+type Row []*Tuple
+
+// TempList is the MM-DBMS intermediate-result structure (§2.3): a list of
+// tuple-pointer rows plus a result descriptor. Unlike relations, temporary
+// lists may be traversed directly; they can also be indexed.
+type TempList struct {
+	desc Descriptor
+	rows []Row
+}
+
+// NewTempList creates an empty temporary list with the given descriptor.
+func NewTempList(desc Descriptor) (*TempList, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	return &TempList{desc: desc}, nil
+}
+
+// MustTempList is NewTempList that panics on error; for tests and examples.
+func MustTempList(desc Descriptor) *TempList {
+	l, err := NewTempList(desc)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Descriptor returns the result descriptor.
+func (l *TempList) Descriptor() Descriptor { return l.desc }
+
+// Len returns the number of rows.
+func (l *TempList) Len() int { return len(l.rows) }
+
+// Append adds a row. The row must have one pointer per source.
+func (l *TempList) Append(row Row) {
+	if len(row) != len(l.desc.Sources) {
+		panic(fmt.Sprintf("storage: row arity %d does not match %d sources", len(row), len(l.desc.Sources)))
+	}
+	l.rows = append(l.rows, row)
+}
+
+// Row returns row i.
+func (l *TempList) Row(i int) Row { return l.rows[i] }
+
+// Rows returns the backing row slice; callers must treat it as read-only.
+func (l *TempList) Rows() []Row { return l.rows }
+
+// Scan visits rows in order until fn returns false.
+func (l *TempList) Scan(fn func(i int, row Row) bool) {
+	for i, row := range l.rows {
+		if !fn(i, row) {
+			return
+		}
+	}
+}
+
+// Value extracts output column c of row i by dereferencing the relevant
+// tuple pointer.
+func (l *TempList) Value(i, c int) Value {
+	col := l.desc.Cols[c]
+	return l.rows[i][col.Source].Field(col.Field)
+}
+
+// RowValues materializes all output columns of row i. This is the only
+// point at which data is copied out of the source tuples — the final
+// delivery of a query result.
+func (l *TempList) RowValues(i int) []Value {
+	out := make([]Value, len(l.desc.Cols))
+	for c := range l.desc.Cols {
+		out[c] = l.Value(i, c)
+	}
+	return out
+}
+
+// ColumnNames returns the output column names in order.
+func (l *TempList) ColumnNames() []string {
+	names := make([]string, len(l.desc.Cols))
+	for i, c := range l.desc.Cols {
+		names[i] = c.Name
+	}
+	return names
+}

@@ -1,0 +1,131 @@
+package storage
+
+import "testing"
+
+// buildFigure1 recreates the Employee/Department instance of Figure 1.
+func buildFigure1(t *testing.T) (emp, dept *Relation, emps, depts map[string]*Tuple) {
+	t.Helper()
+	empRel, deptRel, _ := buildEmpDept(t)
+	depts = map[string]*Tuple{}
+	for _, d := range []struct {
+		name string
+		id   int64
+	}{{"Toy", 459}, {"Shoe", 409}, {"Linen", 411}, {"Paint", 455}} {
+		tp, err := deptRel.Insert([]Value{StringValue(d.name), IntValue(d.id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depts[d.name] = tp
+	}
+	emps = map[string]*Tuple{}
+	for _, e := range []struct {
+		name string
+		id   int64
+		age  int64
+		dept string
+	}{
+		{"Dave", 23, 24, "Toy"},
+		{"Suzan", 12, 27, "Toy"},
+		{"Yaman", 44, 54, "Linen"},
+		{"Jane", 43, 47, "Linen"},
+		{"Cindy", 22, 22, "Shoe"},
+	} {
+		tp, err := empRel.Insert([]Value{
+			StringValue(e.name), IntValue(e.id), IntValue(e.age), RefValue(depts[e.dept]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emps[e.name] = tp
+	}
+	return empRel, deptRel, emps, depts
+}
+
+func TestFigure1ResultList(t *testing.T) {
+	_, _, emps, depts := buildFigure1(t)
+	// Result descriptor of Figure 1: Emp Name, Emp Age, Dept Name.
+	desc := Descriptor{
+		Sources: []string{"emp", "dept"},
+		Cols: []ColRef{
+			{Source: 0, Field: 0, Name: "Emp.Name"},
+			{Source: 0, Field: 2, Name: "Emp.Age"},
+			{Source: 1, Field: 0, Name: "Dept.Name"},
+		},
+	}
+	result := MustTempList(desc)
+	for _, name := range []string{"Dave", "Suzan", "Yaman", "Jane", "Cindy"} {
+		e := emps[name]
+		result.Append(Row{e, e.Field(3).Ref()})
+	}
+	if result.Len() != 5 {
+		t.Fatalf("len = %d", result.Len())
+	}
+	vals := result.RowValues(0)
+	if vals[0].Str() != "Dave" || vals[1].Int() != 24 || vals[2].Str() != "Toy" {
+		t.Fatalf("row 0 = %v", vals)
+	}
+	if got := result.Value(4, 2); got.Str() != "Shoe" {
+		t.Fatalf("Cindy's dept = %v", got)
+	}
+	names := result.ColumnNames()
+	if len(names) != 3 || names[2] != "Dept.Name" {
+		t.Fatalf("columns = %v", names)
+	}
+	if result.Descriptor().ColIndex("Emp.Age") != 1 {
+		t.Fatal("ColIndex wrong")
+	}
+	if result.Descriptor().ColIndex("nope") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+	_ = depts
+}
+
+func TestTempListScanStops(t *testing.T) {
+	_, _, emps, _ := buildFigure1(t)
+	l := MustTempList(Descriptor{Sources: []string{"emp"}, Cols: []ColRef{{Source: 0, Field: 0, Name: "n"}}})
+	for _, e := range emps {
+		l.Append(Row{e})
+	}
+	n := 0
+	l.Scan(func(i int, row Row) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("scan visited %d rows", n)
+	}
+}
+
+func TestTempListNoWidthReduction(t *testing.T) {
+	// §2.3: "no width reduction is ever done" — the temp list stores
+	// pointers; updating the base tuple is visible through the list.
+	emp, _, emps, _ := buildFigure1(t)
+	l := MustTempList(Descriptor{Sources: []string{"emp"}, Cols: []ColRef{{Source: 0, Field: 2, Name: "age"}}})
+	l.Append(Row{emps["Dave"]})
+	if err := emp.Update(emps["Dave"], 2, IntValue(66)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Value(0, 0).Int(); got != 66 {
+		t.Fatalf("temp list copied data: age = %d, want 66", got)
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	if _, err := NewTempList(Descriptor{}); err == nil {
+		t.Error("empty descriptor accepted")
+	}
+	bad := Descriptor{Sources: []string{"a"}, Cols: []ColRef{{Source: 1, Field: 0, Name: "x"}}}
+	if _, err := NewTempList(bad); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestAppendArityPanics(t *testing.T) {
+	l := MustTempList(Descriptor{Sources: []string{"a", "b"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong row arity")
+		}
+	}()
+	l.Append(Row{nil})
+}

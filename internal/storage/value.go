@@ -1,0 +1,297 @@
+// Package storage implements the MM-DBMS storage architecture of Lehman &
+// Carey (SIGMOD 1986, §2): relations broken into partitions (the unit of
+// recovery), tuples referred to by stable pointers, variable-length fields
+// kept in per-partition heap space, foreign keys replaced by tuple-pointer
+// fields to enable precomputed joins, and temporary lists (tuple-pointer
+// rows plus a result descriptor) for intermediate query results.
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Type identifies the runtime type of a Value.
+type Type uint8
+
+// Field types supported by the MM-DBMS.
+const (
+	Null  Type = iota // absent value
+	Int               // 64-bit signed integer
+	Float             // 64-bit IEEE float
+	Str               // variable-length string (partition heap space)
+	Bool              // boolean
+	Ref               // tuple pointer (precomputed-join foreign key)
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Str:
+		return "string"
+	case Bool:
+		return "bool"
+	case Ref:
+		return "ref"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Value is a single attribute value. The zero Value is Null.
+//
+// Values are small and passed by copy. A Ref value holds a tuple pointer;
+// per §2.2 the MM-DBMS substitutes tuple pointers for foreign-key values,
+// so joins on Ref fields compare pointers rather than data.
+type Value struct {
+	typ Type
+	num uint64 // Int: int64 bits; Float: IEEE bits; Bool: 0/1
+	str string
+	ref *Tuple
+}
+
+// NullValue is the Null constant.
+var NullValue = Value{}
+
+// IntValue returns an Int value.
+func IntValue(v int64) Value { return Value{typ: Int, num: uint64(v)} }
+
+// FloatValue returns a Float value.
+func FloatValue(v float64) Value { return Value{typ: Float, num: math.Float64bits(v)} }
+
+// StringValue returns a Str value.
+func StringValue(v string) Value { return Value{typ: Str, str: v} }
+
+// BoolValue returns a Bool value.
+func BoolValue(v bool) Value {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Value{typ: Bool, num: n}
+}
+
+// RefValue returns a Ref (tuple pointer) value. A nil tuple yields Null.
+func RefValue(t *Tuple) Value {
+	if t == nil {
+		return NullValue
+	}
+	return Value{typ: Ref, ref: t}
+}
+
+// Type returns the value's runtime type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is Null.
+func (v Value) IsNull() bool { return v.typ == Null }
+
+// Int returns the integer payload. It panics if the value is not an Int.
+func (v Value) Int() int64 {
+	v.mustBe(Int)
+	return int64(v.num)
+}
+
+// Float returns the float payload. It panics if the value is not a Float.
+func (v Value) Float() float64 {
+	v.mustBe(Float)
+	return math.Float64frombits(v.num)
+}
+
+// Str returns the string payload. It panics if the value is not a Str.
+func (v Value) Str() string {
+	v.mustBe(Str)
+	return v.str
+}
+
+// Bool returns the boolean payload. It panics if the value is not a Bool.
+func (v Value) Bool() bool {
+	v.mustBe(Bool)
+	return v.num != 0
+}
+
+// Ref returns the referenced tuple, following any forwarding addresses left
+// behind when a tuple overflowed its partition's heap space (§2.1 footnote
+// 1). It panics if the value is not a Ref.
+func (v Value) Ref() *Tuple {
+	v.mustBe(Ref)
+	return v.ref.Resolve()
+}
+
+// rawRef returns the referenced tuple without following forwarding
+// pointers; used by the codec so forwarding structure round-trips.
+func (v Value) rawRef() *Tuple {
+	v.mustBe(Ref)
+	return v.ref
+}
+
+func (v Value) mustBe(t Type) {
+	if v.typ != t {
+		panic(fmt.Sprintf("storage: value is %s, not %s", v.typ, t))
+	}
+}
+
+// Compare orders two values. Null sorts before everything; otherwise the
+// values must have the same type or Compare panics (the schema layer
+// rejects mixed-type comparisons before execution). Ref values compare by
+// tuple identity (equal/unequal ordered by tuple ID), which is what makes
+// the pointer-based join of §2.1 Query 2 work.
+func Compare(a, b Value) int {
+	if a.typ == Null || b.typ == Null {
+		switch {
+		case a.typ == b.typ:
+			return 0
+		case a.typ == Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.typ != b.typ {
+		panic(fmt.Sprintf("storage: cannot compare %s with %s", a.typ, b.typ))
+	}
+	switch a.typ {
+	case Int:
+		return cmpOrdered(int64(a.num), int64(b.num))
+	case Float:
+		return cmpFloat(math.Float64frombits(a.num), math.Float64frombits(b.num))
+	case Str:
+		return cmpOrdered(a.str, b.str)
+	case Bool:
+		return cmpOrdered(a.num, b.num)
+	case Ref:
+		ra, rb := a.ref.Resolve(), b.ref.Resolve()
+		if ra == rb {
+			return 0
+		}
+		return cmpOrdered(ra.ID(), rb.ID())
+	default:
+		panic(fmt.Sprintf("storage: cannot compare %s values", a.typ))
+	}
+}
+
+// cmpFloat is a total order over float64: -0 equals +0, and NaN sorts
+// after every other value (and equal to itself), so index invariants hold
+// for any float input.
+func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	default:
+		return cmpOrdered(a, b)
+	}
+}
+
+func cmpOrdered[T int64 | uint64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal without panicking on type
+// mismatch (mismatched types are simply unequal).
+func Equal(a, b Value) bool {
+	if a.typ != b.typ {
+		return false
+	}
+	switch a.typ {
+	case Null:
+		return true
+	case Ref:
+		return a.ref.Resolve() == b.ref.Resolve()
+	case Str:
+		return a.str == b.str
+	case Float:
+		return cmpFloat(math.Float64frombits(a.num), math.Float64frombits(b.num)) == 0
+	default:
+		return a.num == b.num
+	}
+}
+
+// Hash returns a 64-bit hash of the value, consistent with Equal.
+func Hash(v Value) uint64 {
+	switch v.typ {
+	case Null:
+		return 0x9e3779b97f4a7c15
+	case Str:
+		h := fnv.New64a()
+		h.Write([]byte(v.str))
+		return h.Sum64()
+	case Ref:
+		return mix64(v.ref.Resolve().ID())
+	case Float:
+		// Normalize -0.0 to +0.0 and all NaN payloads to one NaN so Equal
+		// floats hash equally.
+		bits := v.num
+		f := math.Float64frombits(bits)
+		if f == 0 {
+			bits = 0
+		} else if math.IsNaN(f) {
+			bits = math.Float64bits(math.NaN())
+		}
+		return mix64(bits) ^ 0xa5a5a5a5
+	default:
+		return mix64(v.num) ^ uint64(v.typ)<<56
+	}
+}
+
+// mix64 is the SplitMix64 finalizer, a strong cheap integer mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HeapBytes returns the number of bytes the value occupies in a
+// partition's heap space. Fixed-width values live inline in the tuple and
+// take no heap space; strings are stored in the heap (§2.1).
+func (v Value) HeapBytes() int {
+	if v.typ == Str {
+		return len(v.str)
+	}
+	return 0
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.typ {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(int64(v.num), 10)
+	case Float:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
+	case Str:
+		return v.str
+	case Bool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case Ref:
+		r := v.ref.Resolve()
+		return fmt.Sprintf("ref(%d)", r.ID())
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := IntValue(-42); v.Type() != Int || v.Int() != -42 {
+		t.Errorf("IntValue: %v", v)
+	}
+	if v := FloatValue(3.5); v.Type() != Float || v.Float() != 3.5 {
+		t.Errorf("FloatValue: %v", v)
+	}
+	if v := StringValue("hi"); v.Type() != Str || v.Str() != "hi" {
+		t.Errorf("StringValue: %v", v)
+	}
+	if v := BoolValue(true); v.Type() != Bool || !v.Bool() {
+		t.Errorf("BoolValue: %v", v)
+	}
+	if !NullValue.IsNull() {
+		t.Error("NullValue not null")
+	}
+	if v := RefValue(nil); !v.IsNull() {
+		t.Error("RefValue(nil) should be Null")
+	}
+}
+
+func TestValueAccessorPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IntValue(1).Str()
+}
+
+func TestCompareWithinTypes(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{IntValue(-5), IntValue(5), -1},
+		{FloatValue(1.5), FloatValue(2.5), -1},
+		{FloatValue(2.5), FloatValue(2.5), 0},
+		{StringValue("a"), StringValue("b"), -1},
+		{StringValue("b"), StringValue("b"), 0},
+		{StringValue("ba"), StringValue("b"), 1},
+		{BoolValue(false), BoolValue(true), -1},
+		{BoolValue(true), BoolValue(true), 0},
+		{NullValue, IntValue(0), -1},
+		{IntValue(0), NullValue, 1},
+		{NullValue, NullValue, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMixedTypesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compare(IntValue(1), StringValue("1"))
+}
+
+func TestEqualAcrossTypesIsFalseNotPanic(t *testing.T) {
+	if Equal(IntValue(1), StringValue("1")) {
+		t.Error("int 1 should not equal string \"1\"")
+	}
+	if !Equal(NullValue, NullValue) {
+		t.Error("null must equal null")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{IntValue(7), IntValue(7)},
+		{StringValue("abc"), StringValue("abc")},
+		{FloatValue(0.0), FloatValue(math.Copysign(0, -1))}, // +0 vs -0
+		{BoolValue(true), BoolValue(true)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Errorf("expected %v == %v", p[0], p[1])
+			continue
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("equal values hash differently: %v %v", p[0], p[1])
+		}
+	}
+}
+
+func TestHashPropertyIntEquality(t *testing.T) {
+	f := func(a, b int64) bool {
+		ha, hb := Hash(IntValue(a)), Hash(IntValue(b))
+		if a == b {
+			return ha == hb
+		}
+		return true // inequality says nothing about hashes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSpreadsSequentialInts(t *testing.T) {
+	// Sequential keys are the workload generator's common case; make sure
+	// the mixer doesn't collapse them into few buckets.
+	const n, buckets = 10000, 64
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[Hash(IntValue(int64(i)))%buckets]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/4 || c > n/buckets*4 {
+			t.Fatalf("bucket %d has %d of %d items — poor spread", b, c, n)
+		}
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	if IntValue(1).HeapBytes() != 0 || FloatValue(1).HeapBytes() != 0 || BoolValue(true).HeapBytes() != 0 {
+		t.Error("fixed-width values must use no heap space")
+	}
+	if StringValue("hello").HeapBytes() != 5 {
+		t.Error("string heap bytes must equal length")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": NullValue,
+		"42":   IntValue(42),
+		"2.5":  FloatValue(2.5),
+		"hi":   StringValue("hi"),
+		"true": BoolValue(true),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Type(), got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Null: "null", Int: "int", Float: "float", Str: "string", Bool: "bool", Ref: "ref",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package tupleindex instantiates the generic index structures over tuple
+// pointers, the MM-DBMS arrangement of §2.2: an index never stores
+// attribute values, only *storage.Tuple entries whose comparisons and
+// hashes dereference the indexed field on demand. Entry identity is
+// pointer identity, so deleting a tuple removes exactly its pointer even
+// among key-equal duplicates.
+package tupleindex
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/index/avltree"
+	"repro/internal/index/btree"
+	"repro/internal/index/chainhash"
+	"repro/internal/index/exthash"
+	"repro/internal/index/linearhash"
+	"repro/internal/index/mlh"
+	"repro/internal/index/sortedarray"
+	"repro/internal/index/ttree"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// SelfField is the pseudo field index whose "value" is the tuple's own
+// identity (a Ref to itself). Indexing or joining on SelfField compares
+// tuple pointers — the pointer-based join of §2.1 Query 2.
+const SelfField = -1
+
+// KeyOf extracts the indexed key of a tuple: field f, or the tuple's own
+// identity for SelfField.
+func KeyOf(t *storage.Tuple, f int) storage.Value {
+	if f == SelfField {
+		return storage.RefValue(t)
+	}
+	return t.Field(f)
+}
+
+// Ordered and Hashed are the tuple-level index interfaces.
+type (
+	Ordered = index.Ordered[*storage.Tuple]
+	Hashed  = index.Hashed[*storage.Tuple]
+)
+
+// Options configures a tuple index.
+type Options struct {
+	Field    int // indexed field; SelfField for identity
+	Unique   bool
+	NodeSize int
+	Capacity int // hint for static / presized structures
+	Meter    *meter.Counters
+}
+
+// Config builds the generic index configuration for the options.
+func Config(o Options) index.Config[*storage.Tuple] {
+	f := o.Field
+	return index.Config[*storage.Tuple]{
+		Cmp: func(a, b *storage.Tuple) int {
+			return storage.Compare(KeyOf(a, f), KeyOf(b, f))
+		},
+		Hash: func(t *storage.Tuple) uint64 {
+			return storage.Hash(KeyOf(t, f))
+		},
+		Eq: func(a, b *storage.Tuple) bool {
+			return storage.Equal(KeyOf(a, f), KeyOf(b, f))
+		},
+		Same:         func(a, b *storage.Tuple) bool { return a.Canonical() == b.Canonical() },
+		Unique:       o.Unique,
+		NodeSize:     o.NodeSize,
+		CapacityHint: o.Capacity,
+		Meter:        o.Meter,
+	}
+}
+
+// PosFor returns the ordered-search position function for key k on field f.
+func PosFor(k storage.Value, f int) index.Pos[*storage.Tuple] {
+	return func(t *storage.Tuple) int {
+		return storage.Compare(KeyOf(t, f), k)
+	}
+}
+
+// NewTTree builds an empty T Tree over tuples.
+func NewTTree(o Options) *ttree.Tree[*storage.Tuple] { return ttree.New(Config(o)) }
+
+// NewAVL builds an empty AVL tree over tuples.
+func NewAVL(o Options) *avltree.Tree[*storage.Tuple] { return avltree.New(Config(o)) }
+
+// NewBTree builds an empty B Tree over tuples.
+func NewBTree(o Options) *btree.Tree[*storage.Tuple] { return btree.New(Config(o)) }
+
+// NewArray builds an empty sorted-array index over tuples.
+func NewArray(o Options) *sortedarray.Array[*storage.Tuple] { return sortedarray.New(Config(o)) }
+
+// BuildArray bulk-loads a sorted-array index (append + quicksort), the
+// construction path of the Sort Merge join.
+func BuildArray(o Options, tuples []*storage.Tuple) *sortedarray.Array[*storage.Tuple] {
+	return sortedarray.Build(Config(o), tuples)
+}
+
+// NewChainHash builds a static chained-bucket hash table over tuples.
+func NewChainHash(o Options) *chainhash.Table[*storage.Tuple] { return chainhash.New(Config(o)) }
+
+// NewExtendible builds an extendible hash table over tuples.
+func NewExtendible(o Options) *exthash.Table[*storage.Tuple] { return exthash.New(Config(o)) }
+
+// NewLinearHash builds a linear hash table over tuples.
+func NewLinearHash(o Options) *linearhash.Table[*storage.Tuple] { return linearhash.New(Config(o)) }
+
+// NewMLH builds a modified linear hash table over tuples.
+func NewMLH(o Options) *mlh.Table[*storage.Tuple] { return mlh.New(Config(o)) }
+
+// NewOrdered builds an order-preserving index of the given kind.
+func NewOrdered(k index.Kind, o Options) (Ordered, error) {
+	switch k {
+	case index.KindArray:
+		return NewArray(o), nil
+	case index.KindAVL:
+		return NewAVL(o), nil
+	case index.KindBTree:
+		return NewBTree(o), nil
+	case index.KindTTree:
+		return NewTTree(o), nil
+	default:
+		return nil, fmt.Errorf("tupleindex: %v is not order-preserving", k)
+	}
+}
+
+// NewHashed builds a hash index of the given kind.
+func NewHashed(k index.Kind, o Options) (Hashed, error) {
+	switch k {
+	case index.KindChainedHash:
+		return NewChainHash(o), nil
+	case index.KindExtendible:
+		return NewExtendible(o), nil
+	case index.KindLinearHash:
+		return NewLinearHash(o), nil
+	case index.KindModLinearHash:
+		return NewMLH(o), nil
+	default:
+		return nil, fmt.Errorf("tupleindex: %v is not a hash structure", k)
+	}
+}
+
+// Maintainer keeps an index in sync with its relation through the
+// storage.Observer hooks. Register it with Relation.Observe.
+type Maintainer struct {
+	Field  int
+	Insert func(*storage.Tuple) bool
+	Remove func(*storage.Tuple) bool
+}
+
+// NewOrderedMaintainer wires an ordered index to relation changes.
+func NewOrderedMaintainer(ix Ordered, field int) *Maintainer {
+	return &Maintainer{Field: field, Insert: ix.Insert, Remove: ix.Delete}
+}
+
+// NewHashedMaintainer wires a hash index to relation changes.
+func NewHashedMaintainer(ix Hashed, field int) *Maintainer {
+	return &Maintainer{Field: field, Insert: ix.Insert, Remove: ix.Delete}
+}
+
+// TupleInserted implements storage.Observer.
+func (m *Maintainer) TupleInserted(t *storage.Tuple) { m.Insert(t) }
+
+// TupleDeleted implements storage.Observer.
+func (m *Maintainer) TupleDeleted(t *storage.Tuple) { m.Remove(t) }
+
+// TupleUpdating implements storage.Observer: before an indexed field
+// changes, the entry is removed while its current key is still observable
+// — afterwards the entry would dereference to the new value and become
+// unfindable at its old tree position.
+func (m *Maintainer) TupleUpdating(t *storage.Tuple, f int, v storage.Value) {
+	if m.Field == SelfField || f != m.Field {
+		return
+	}
+	if storage.Equal(t.Field(f), v) {
+		return
+	}
+	m.Remove(t)
+}
+
+// TupleUpdated implements storage.Observer: after an indexed field
+// changed, the entry (removed by TupleUpdating) is re-inserted at its new
+// position.
+func (m *Maintainer) TupleUpdated(t *storage.Tuple, old []storage.Value) {
+	if m.Field == SelfField {
+		return // identity never changes on update
+	}
+	if storage.Equal(old[m.Field], t.Field(m.Field)) {
+		return
+	}
+	m.Insert(t)
+}
+
+// CompositeKeyOf extracts the multi-attribute key of a tuple.
+func CompositeKeyOf(t *storage.Tuple, fields []int) []storage.Value {
+	out := make([]storage.Value, len(fields))
+	for i, f := range fields {
+		out[i] = KeyOf(t, f)
+	}
+	return out
+}
+
+// CompositeConfig builds an index configuration over several fields
+// compared lexicographically. §2.2: "since a single tuple pointer provides
+// access to any field in the tuple, multi-attribute indices will need less
+// in the way of special mechanisms" — the entries are still plain tuple
+// pointers; only the comparison changes.
+func CompositeConfig(fields []int, o Options) index.Config[*storage.Tuple] {
+	fs := append([]int(nil), fields...)
+	return index.Config[*storage.Tuple]{
+		Cmp: func(a, b *storage.Tuple) int {
+			for _, f := range fs {
+				if c := storage.Compare(KeyOf(a, f), KeyOf(b, f)); c != 0 {
+					return c
+				}
+			}
+			return 0
+		},
+		Hash: func(t *storage.Tuple) uint64 {
+			h := uint64(14695981039346656037)
+			for _, f := range fs {
+				h ^= storage.Hash(KeyOf(t, f))
+				h *= 1099511628211
+			}
+			return h
+		},
+		Eq: func(a, b *storage.Tuple) bool {
+			for _, f := range fs {
+				if !storage.Equal(KeyOf(a, f), KeyOf(b, f)) {
+					return false
+				}
+			}
+			return true
+		},
+		Same:         func(a, b *storage.Tuple) bool { return a.Canonical() == b.Canonical() },
+		Unique:       o.Unique,
+		NodeSize:     o.NodeSize,
+		CapacityHint: o.Capacity,
+		Meter:        o.Meter,
+	}
+}
+
+// CompositePos returns the ordered-search position function for a
+// composite key. keys may be a strict prefix of fields, which makes the
+// function a prefix bound: every tuple matching the prefix compares equal,
+// so SearchAll and Range serve prefix scans.
+func CompositePos(keys []storage.Value, fields []int) index.Pos[*storage.Tuple] {
+	if len(keys) > len(fields) {
+		panic("tupleindex: more key values than indexed fields")
+	}
+	ks := append([]storage.Value(nil), keys...)
+	fs := append([]int(nil), fields[:len(ks)]...)
+	return func(t *storage.Tuple) int {
+		for i, f := range fs {
+			if c := storage.Compare(KeyOf(t, f), ks[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}

@@ -1,0 +1,256 @@
+// Package txn implements the MM-DBMS transaction protocol sketched in
+// §2.4: deferred updates with strict two-phase locking at partition
+// granularity. All log information is written into the stable log buffer
+// before the actual update is done to the database (as in IMS FASTPATH);
+// an abort simply removes the log entries — no undo is ever needed — and a
+// commit applies the updates and releases them to the active log device.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/lock"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+)
+
+// ErrDone is returned when a finished transaction is used again.
+var ErrDone = errors.New("txn: transaction already committed or aborted")
+
+// Manager creates transactions over a shared lock manager and log.
+type Manager struct {
+	Locks *lock.Manager
+	Log   *recovery.Manager
+	next  uint64
+}
+
+// NewManager wires a transaction manager. log may be nil for a database
+// running without durability.
+func NewManager(locks *lock.Manager, log *recovery.Manager) *Manager {
+	if locks == nil {
+		locks = lock.NewManager()
+	}
+	return &Manager{Locks: locks, Log: log}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	return &Txn{m: m, id: atomic.AddUint64(&m.next, 1)}
+}
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+)
+
+type op struct {
+	kind  opKind
+	rel   *storage.Relation
+	tuple *storage.Tuple
+	field int
+	val   storage.Value
+	vals  []storage.Value
+}
+
+// Txn is a deferred-update transaction. Writes are buffered until Commit;
+// reads see the pre-transaction state of the database (no
+// read-your-writes), which is the natural consequence of §2.4's
+// no-undo design.
+type Txn struct {
+	m    *Manager
+	id   uint64
+	ops  []op
+	done bool
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) lockID() lock.TxnID { return lock.TxnID(t.id) }
+
+// Read returns the tuple's field values under a shared partition lock.
+func (t *Txn) Read(tp *storage.Tuple) ([]storage.Value, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	if err := t.m.Locks.Lock(t.lockID(), tp.Partition(), lock.Shared); err != nil {
+		return nil, t.failLock(err)
+	}
+	return tp.Values(), nil
+}
+
+// LockRelationShared takes a shared lock on the relation plus every
+// partition — the read lock a selection needs. The relation-level lock is
+// what serializes readers against index-mutating writers: indices span
+// partitions, so partition locks alone cannot protect an index traversal.
+func (t *Txn) LockRelationShared(rel *storage.Relation) error {
+	if t.done {
+		return ErrDone
+	}
+	if err := t.m.Locks.Lock(t.lockID(), rel, lock.Shared); err != nil {
+		return t.failLock(err)
+	}
+	for _, p := range rel.Partitions() {
+		if err := t.m.Locks.Lock(t.lockID(), p, lock.Shared); err != nil {
+			return t.failLock(err)
+		}
+	}
+	return nil
+}
+
+// Insert buffers an insert. Schema validation happens immediately; the
+// tuple is created at Commit (deferred update), so its pointer is returned
+// by Commit, not here. The relation's insert region is locked exclusively.
+func (t *Txn) Insert(rel *storage.Relation, vals []storage.Value) error {
+	if t.done {
+		return ErrDone
+	}
+	if err := rel.Schema().Validate(vals); err != nil {
+		return err
+	}
+	if err := t.m.Locks.Lock(t.lockID(), rel, lock.Exclusive); err != nil {
+		return t.failLock(err)
+	}
+	t.ops = append(t.ops, op{kind: opInsert, rel: rel, vals: append([]storage.Value(nil), vals...)})
+	return nil
+}
+
+// Update buffers a field update under an exclusive partition lock.
+func (t *Txn) Update(rel *storage.Relation, tp *storage.Tuple, field int, v storage.Value) error {
+	if t.done {
+		return ErrDone
+	}
+	if field < 0 || field >= rel.Schema().Arity() {
+		return fmt.Errorf("txn: field %d out of range", field)
+	}
+	def := rel.Schema().Field(field)
+	if !v.IsNull() && v.Type() != def.Type {
+		return fmt.Errorf("txn: field %q wants %s, got %s", def.Name, def.Type, v.Type())
+	}
+	// The relation lock covers the index repositioning the update causes;
+	// the partition lock covers the tuple itself.
+	if err := t.m.Locks.Lock(t.lockID(), rel, lock.Exclusive); err != nil {
+		return t.failLock(err)
+	}
+	if err := t.m.Locks.Lock(t.lockID(), tp.Partition(), lock.Exclusive); err != nil {
+		return t.failLock(err)
+	}
+	t.ops = append(t.ops, op{kind: opUpdate, rel: rel, tuple: tp, field: field, val: v})
+	return nil
+}
+
+// Delete buffers a tuple delete under exclusive relation and partition
+// locks (the relation lock covers the index removals).
+func (t *Txn) Delete(rel *storage.Relation, tp *storage.Tuple) error {
+	if t.done {
+		return ErrDone
+	}
+	if err := t.m.Locks.Lock(t.lockID(), rel, lock.Exclusive); err != nil {
+		return t.failLock(err)
+	}
+	if err := t.m.Locks.Lock(t.lockID(), tp.Partition(), lock.Exclusive); err != nil {
+		return t.failLock(err)
+	}
+	t.ops = append(t.ops, op{kind: opDelete, rel: rel, tuple: tp})
+	return nil
+}
+
+// failLock aborts the transaction on a lock failure (deadlock victim).
+func (t *Txn) failLock(err error) error {
+	t.Abort()
+	return err
+}
+
+// Abort discards the buffered updates and log entries and releases all
+// locks; the database is untouched, so no undo is needed.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.ops = nil
+	if t.m.Log != nil {
+		t.m.Log.Abort(t.id)
+	}
+	t.m.Locks.ReleaseAll(t.lockID())
+}
+
+// Commit validates the buffered updates, writes each log record into the
+// stable log buffer, applies the update to the in-memory database, then
+// releases the records to the log device and drops all locks. It returns
+// the tuples created by this transaction's inserts, in order.
+func (t *Txn) Commit() ([]*storage.Tuple, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	// Validation pass: fail before anything is applied.
+	for _, o := range t.ops {
+		switch o.kind {
+		case opUpdate, opDelete:
+			if !o.tuple.Live() {
+				t.Abort()
+				return nil, fmt.Errorf("txn %d: tuple %d is dead", t.id, o.tuple.ID())
+			}
+		}
+	}
+	// Apply pass: log record first, then the in-memory update.
+	var inserted []*storage.Tuple
+	for _, o := range t.ops {
+		switch o.kind {
+		case opInsert:
+			var rec *recovery.Record
+			if t.m.Log != nil {
+				imgs := make([]storage.ValueImage, len(o.vals))
+				for i, v := range o.vals {
+					imgs[i] = storage.ImageOf(v)
+				}
+				rec = t.m.Log.Append(t.id, recovery.Record{Op: recovery.OpInsert, Rel: o.rel.Name(), Vals: imgs})
+			}
+			tp, err := o.rel.Insert(o.vals)
+			if err != nil {
+				t.Abort()
+				return nil, err
+			}
+			if rec != nil {
+				// Placement metadata becomes known only after the insert.
+				rec.Tuple = tp.ID()
+				rec.Part = tp.Partition().ID()
+			}
+			inserted = append(inserted, tp)
+		case opUpdate:
+			if t.m.Log != nil {
+				t.m.Log.Append(t.id, recovery.Record{
+					Op: recovery.OpUpdate, Rel: o.rel.Name(),
+					Part: o.tuple.Partition().ID(), Tuple: o.tuple.ID(),
+					Field: o.field, Vals: []storage.ValueImage{storage.ImageOf(o.val)},
+				})
+			}
+			if err := o.rel.Update(o.tuple, o.field, o.val); err != nil {
+				t.Abort()
+				return nil, err
+			}
+		case opDelete:
+			if t.m.Log != nil {
+				t.m.Log.Append(t.id, recovery.Record{
+					Op: recovery.OpDelete, Rel: o.rel.Name(),
+					Part: o.tuple.Partition().ID(), Tuple: o.tuple.ID(),
+				})
+			}
+			if err := o.rel.Delete(o.tuple); err != nil {
+				t.Abort()
+				return nil, err
+			}
+		}
+	}
+	t.done = true
+	if t.m.Log != nil {
+		t.m.Log.Commit(t.id)
+	}
+	t.m.Locks.ReleaseAll(t.lockID())
+	return inserted, nil
+}

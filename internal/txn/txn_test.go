@@ -1,0 +1,165 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+)
+
+func newRel(t *testing.T) *storage.Relation {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.FieldDef{Name: "k", Type: storage.Int},
+		storage.FieldDef{Name: "s", Type: storage.Str},
+	)
+	rel, err := storage.NewRelation("r", schema, storage.Config{}, storage.NewIDGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestCommitReturnsInsertedTuplesInOrder(t *testing.T) {
+	rel := newRel(t)
+	tm := NewManager(lock.NewManager(), nil) // durability off
+	tx := tm.Begin()
+	for i := int64(0); i < 5; i++ {
+		if err := tx.Insert(rel, []storage.Value{storage.IntValue(i), storage.StringValue("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuples, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 5 {
+		t.Fatalf("len=%d", len(tuples))
+	}
+	for i, tp := range tuples {
+		if tp.Field(0).Int() != int64(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestFinishedTxnRejectsEverything(t *testing.T) {
+	rel := newRel(t)
+	tm := NewManager(nil, nil)
+	tx := tm.Begin()
+	tx.Insert(rel, []storage.Value{storage.IntValue(1), storage.NullValue})
+	tuples, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != ErrDone {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := tx.Insert(rel, nil); err != ErrDone {
+		t.Fatalf("insert after commit: %v", err)
+	}
+	if err := tx.Update(rel, tuples[0], 0, storage.IntValue(2)); err != ErrDone {
+		t.Fatalf("update after commit: %v", err)
+	}
+	if err := tx.Delete(rel, tuples[0]); err != ErrDone {
+		t.Fatalf("delete after commit: %v", err)
+	}
+	if _, err := tx.Read(tuples[0]); err != ErrDone {
+		t.Fatalf("read after commit: %v", err)
+	}
+	if err := tx.LockRelationShared(rel); err != ErrDone {
+		t.Fatalf("lock after commit: %v", err)
+	}
+	tx.Abort() // no-op, must not panic
+}
+
+func TestAbortIsIdempotentAndDiscards(t *testing.T) {
+	rel := newRel(t)
+	tm := NewManager(nil, nil)
+	tx := tm.Begin()
+	tx.Insert(rel, []storage.Value{storage.IntValue(1), storage.NullValue})
+	tx.Abort()
+	tx.Abort()
+	if rel.Cardinality() != 0 {
+		t.Fatal("aborted insert applied")
+	}
+	if _, err := tx.Commit(); err != ErrDone {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+func TestValidationErrorsDoNotBufferOps(t *testing.T) {
+	rel := newRel(t)
+	tm := NewManager(nil, nil)
+	tx := tm.Begin()
+	if err := tx.Insert(rel, []storage.Value{storage.StringValue("wrong")}); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	if err := tx.Update(rel, nil, 99, storage.IntValue(1)); err == nil {
+		t.Fatal("bad field accepted")
+	}
+	// Transaction is still alive (validation errors are not lock errors).
+	if err := tx.Insert(rel, []storage.Value{storage.IntValue(1), storage.NullValue}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 1 {
+		t.Fatalf("cardinality=%d", rel.Cardinality())
+	}
+}
+
+func TestNoReadYourWrites(t *testing.T) {
+	// Deferred updates: a transaction's own writes are invisible until
+	// commit (§2.4's no-undo design).
+	rel := newRel(t)
+	tm := NewManager(nil, nil)
+	seed := tm.Begin()
+	seed.Insert(rel, []storage.Value{storage.IntValue(1), storage.StringValue("old")})
+	tuples, _ := seed.Commit()
+	tx := tm.Begin()
+	if err := tx.Update(rel, tuples[0], 1, storage.StringValue("new")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tx.Read(tuples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1].Str() != "old" {
+		t.Fatalf("deferred write visible before commit: %v", vals)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tuples[0].Field(1).Str() != "new" {
+		t.Fatal("commit did not apply")
+	}
+}
+
+func TestLockOrderingAcrossOps(t *testing.T) {
+	rel := newRel(t)
+	locks := lock.NewManager()
+	tm := NewManager(locks, nil)
+	tx := tm.Begin()
+	tx.Insert(rel, []storage.Value{storage.IntValue(1), storage.NullValue})
+	// The insert holds X on the relation until commit: a second txn's
+	// shared relation lock must conflict.
+	probe := tm.Begin()
+	got := make(chan error, 1)
+	go func() { got <- probe.LockRelationShared(rel) }()
+	select {
+	case err := <-got:
+		t.Fatalf("shared lock granted against in-flight insert (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked, as it must be.
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	probe.Abort()
+}

@@ -1,0 +1,256 @@
+// Package mmdb is a main-memory relational database engine reproducing
+// the MM-DBMS architecture of Lehman & Carey, "Query Processing in Main
+// Memory Database Management Systems" (SIGMOD 1986).
+//
+// Relations live entirely in memory, broken into partitions (the unit of
+// recovery and locking). Tuples are referred to by stable pointers;
+// indices hold tuple pointers rather than key values; foreign keys may be
+// declared as tuple-pointer fields, enabling precomputed joins; query
+// results are temporary lists of tuple pointers plus a result descriptor —
+// data is copied only when a result is finally materialized.
+//
+// The query layer implements the paper's operator repertoire — selection
+// by hash lookup, tree lookup, range scan, or sequential scan; Nested
+// Loops, Hash, Tree, Sort Merge, Tree Merge, and precomputed joins;
+// duplicate elimination by hashing or sort-scan — and picks among them
+// with the simple preference ordering the paper's conclusions lay out.
+//
+// Durability follows Figure 2: a stable log buffer written before every
+// update, an active log device folding committed changes into a
+// change-accumulation log, a disk copy of the database maintained lazily,
+// and two-phase restart (working set first, background reload after).
+package mmdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/lock"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// IndexKind selects one of the eight studied index structures.
+type IndexKind = index.Kind
+
+// The available index structures. TTree and ModLinearHash are the
+// MM-DBMS's two general-purpose dynamic structures (§2.2); the others are
+// provided for completeness and benchmarking.
+const (
+	Array         = index.KindArray
+	AVLTree       = index.KindAVL
+	BTree         = index.KindBTree
+	TTree         = index.KindTTree
+	ChainedHash   = index.KindChainedHash
+	Extendible    = index.KindExtendible
+	LinearHash    = index.KindLinearHash
+	ModLinearHash = index.KindModLinearHash
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dir is the disk-copy directory. Empty disables durability: no log,
+	// no recovery, maximum speed.
+	Dir string
+	// DeviceInterval is the active log device's propagation period; zero
+	// keeps the device off until StartDevice is called.
+	DeviceInterval time.Duration
+	// Partition sizing; zero values use the defaults ("one or two disk
+	// tracks", §2.1).
+	SlotsPerPartition int
+	HeapPerPartition  int
+}
+
+// Database is a main-memory database: a set of tables, a partition-level
+// lock manager, and (optionally) the recovery machinery.
+type Database struct {
+	mu     sync.RWMutex
+	opts   Options
+	ids    *storage.IDGen
+	tables map[string]*Table
+	locks  *lock.Manager
+	log    *recovery.Manager
+	txns   *txn.Manager
+	device *recovery.Device
+}
+
+// Open creates a database. With Options.Dir set, a previously saved disk
+// copy can be loaded with Recover after the schema is declared.
+func Open(opts Options) (*Database, error) {
+	db := &Database{
+		opts:   opts,
+		ids:    storage.NewIDGen(),
+		tables: make(map[string]*Table),
+		locks:  lock.NewManager(),
+	}
+	if opts.Dir != "" {
+		log, err := recovery.NewManager(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		db.log = log
+		if opts.DeviceInterval > 0 {
+			db.device = log.StartDevice(opts.DeviceInterval)
+		}
+	}
+	db.txns = txn.NewManager(db.locks, db.log)
+	return db, nil
+}
+
+// Close stops the background log device, propagating any remaining
+// committed records to the disk copy.
+func (db *Database) Close() error {
+	if db.device != nil {
+		if err := db.device.Stop(); err != nil {
+			return err
+		}
+		db.device = nil
+	}
+	if db.log != nil {
+		return db.log.PropagateOnce()
+	}
+	return nil
+}
+
+// Checkpoint writes every table's partitions to the disk copy.
+func (db *Database) Checkpoint() error {
+	if db.log == nil {
+		return fmt.Errorf("mmdb: database opened without durability")
+	}
+	db.mu.RLock()
+	rels := make([]*storage.Relation, 0, len(db.tables))
+	for _, t := range db.tables {
+		rels = append(rels, t.rel)
+	}
+	db.mu.RUnlock()
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name() < rels[j].Name() })
+	return db.log.Checkpoint(rels...)
+}
+
+// CreateTable declares a table. Every relation must be reachable through
+// an index (§2.1), so a primary index on primaryColumn is created
+// immediately; kind must be an order-preserving structure for ordered
+// data or a hash structure for unordered data.
+func (db *Database) CreateTable(name string, fields []Field, primaryColumn string, kind IndexKind) (*Table, error) {
+	schema, err := storage.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("mmdb: table %q exists", name)
+	}
+	rel, err := storage.NewRelation(name, schema, storage.Config{
+		SlotsPerPartition: db.opts.SlotsPerPartition,
+		HeapPerPartition:  db.opts.HeapPerPartition,
+	}, db.ids)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, rel: rel, indices: make(map[string]*Index)}
+	if _, err := t.createIndexLocked("primary", primaryColumn, kind, true); err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a declared table.
+func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Tables lists table names in sorted order.
+func (db *Database) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Recover rebuilds all declared tables from the disk copy and the
+// change-accumulation log, then rebuilds their indices. It implements the
+// paper's two-phase restart: workingSet partitions load first (pass nil to
+// load everything eagerly); the remainder loads before Recover returns —
+// use RecoverAsync for true background reload.
+func (db *Database) Recover(workingSet []PartitionKey) error {
+	r, err := db.beginRestart(workingSet)
+	if err != nil {
+		return err
+	}
+	if err := r.LoadRemaining(); err != nil {
+		return err
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	db.rebuildIndices()
+	return nil
+}
+
+// PartitionKey names one partition for working-set recovery.
+type PartitionKey = recovery.PartKey
+
+// RecoverAsync loads the working set synchronously, then completes the
+// reload in the background; the returned channel yields the final error.
+// The database may serve transactions against working-set partitions while
+// the background load runs, at the caller's discretion (tuple-pointer
+// fields resolve only after the full load).
+func (db *Database) RecoverAsync(workingSet []PartitionKey) (<-chan error, error) {
+	r, err := db.beginRestart(workingSet)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan error, 1)
+	go func() {
+		err := <-r.LoadRemainingAsync()
+		if err == nil {
+			db.rebuildIndices()
+		}
+		out <- err
+	}()
+	return out, nil
+}
+
+func (db *Database) beginRestart(workingSet []PartitionKey) (*recovery.Restart, error) {
+	if db.log == nil {
+		return nil, fmt.Errorf("mmdb: database opened without durability")
+	}
+	db.mu.RLock()
+	rels := make([]*storage.Relation, 0, len(db.tables))
+	for _, t := range db.tables {
+		rels = append(rels, t.rel)
+	}
+	db.mu.RUnlock()
+	r := db.log.NewRestart(rels...)
+	if err := r.LoadWorkingSet(workingSet); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (db *Database) rebuildIndices() {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		t.rebuildIndices()
+	}
+}
+
+// Begin starts a transaction: deferred updates under partition-level
+// two-phase locking (§2.4).
+func (db *Database) Begin() *Txn {
+	return &Txn{db: db, inner: db.txns.Begin()}
+}

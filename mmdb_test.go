@@ -1,0 +1,401 @@
+package mmdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// openEmpDept builds the paper's Employee/Department database (§2.1,
+// Figure 1) through the public API.
+func openEmpDept(t testing.TB, opts Options) (*Database, *Table, *Table) {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dept, err := db.CreateTable("dept", []Field{
+		{Name: "name", Type: TypeString},
+		{Name: "id", Type: TypeInt},
+	}, "id", TTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := db.CreateTable("emp", []Field{
+		{Name: "name", Type: TypeString},
+		{Name: "id", Type: TypeInt},
+		{Name: "age", Type: TypeInt},
+		{Name: "dept", Type: TypeRef, ForeignKey: "dept"},
+	}, "id", TTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, emp, dept
+}
+
+func seedEmpDept(t testing.TB, emp, dept *Table) map[string]*Tuple {
+	t.Helper()
+	depts := map[string]*Tuple{}
+	for _, d := range []struct {
+		name string
+		id   int64
+	}{{"Toy", 459}, {"Shoe", 409}, {"Linen", 411}, {"Paint", 455}} {
+		tp, err := dept.Insert(Str(d.name), Int(d.id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		depts[d.name] = tp
+	}
+	for _, e := range []struct {
+		name    string
+		id, age int64
+		dept    string
+	}{
+		{"Dave", 23, 24, "Toy"},
+		{"Suzan", 12, 27, "Toy"},
+		{"Yaman", 44, 54, "Linen"},
+		{"Jane", 43, 47, "Linen"},
+		{"Cindy", 22, 22, "Shoe"},
+		{"Umar", 51, 68, "Shoe"},
+		{"Vera", 52, 71, "Toy"},
+	} {
+		if _, err := emp.Insert(Str(e.name), Int(e.id), Int(e.age), Ref(depts[e.dept])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return depts
+}
+
+func names(r *Result, col int) []string {
+	var out []string
+	for i := 0; i < r.Len(); i++ {
+		out = append(out, r.Row(i)[col].Str())
+	}
+	return out
+}
+
+func TestQuery1PrecomputedJoin(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+	if _, err := emp.CreateIndex("by_age", "age", TTree); err != nil {
+		t.Fatal(err)
+	}
+	// Query 1: names, ages and department names of employees over 65.
+	res, err := db.Query("emp").
+		Where("age", Gt, Int(65)).
+		Join("dept", "dept", Self).
+		Select("emp.name", "emp.age", "dept.name").
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows=%d plan:\n%s", res.Len(), res.Plan())
+	}
+	if !strings.Contains(res.Plan(), "precomputed join") {
+		t.Fatalf("planner missed the precomputed join:\n%s", res.Plan())
+	}
+	if !strings.Contains(res.Plan(), "tree range") {
+		t.Fatalf("planner missed the range index:\n%s", res.Plan())
+	}
+	got := map[string]bool{}
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		got[row[0].Str()+"/"+row[2].Str()] = true
+	}
+	if !got["Umar/Shoe"] || !got["Vera/Toy"] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuery2PointerJoin(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+	if _, err := dept.CreateIndex("by_name", "name", TTree); err != nil {
+		t.Fatal(err)
+	}
+	// Query 2: names of employees in the Toy or Shoe departments. Two
+	// selections then a pointer join (one per department, united).
+	all := map[string]bool{}
+	for _, d := range []string{"Toy", "Shoe"} {
+		res, err := db.Query("dept").
+			Where("name", Eq, Str(d)).
+			Join("emp", Self, "dept").
+			Select("emp.name").
+			Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names(res, 0) {
+			all[n] = true
+		}
+	}
+	want := []string{"Dave", "Suzan", "Cindy", "Umar", "Vera"}
+	if len(all) != len(want) {
+		t.Fatalf("got %v", all)
+	}
+	for _, n := range want {
+		if !all[n] {
+			t.Fatalf("missing %s in %v", n, all)
+		}
+	}
+}
+
+func TestPlannerJoinChoices(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+
+	// Value join with no useful indices: hash join.
+	res, err := db.Query("emp").Join("dept", "dept", Self).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan(), "precomputed") {
+		t.Fatalf("FK identity join should be precomputed:\n%s", res.Plan())
+	}
+
+	// Join on id columns with T Trees on both: tree merge.
+	res, err = db.Query("emp").Join("dept", "id", "id").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan(), "Tree Merge") {
+		t.Fatalf("both-indices join should be Tree Merge:\n%s", res.Plan())
+	}
+
+	// Filtered outer (no outer index anymore): hash join on values.
+	res, err = db.Query("emp").Where("age", Gt, Int(30)).Join("dept", "id", "id").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan(), "Hash Join") && !strings.Contains(res.Plan(), "Tree Join") {
+		t.Fatalf("filtered-outer join plan:\n%s", res.Plan())
+	}
+}
+
+func TestSelectionPathsViaAPI(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+	if _, err := emp.CreateIndex("by_name_hash", "name", ModLinearHash); err != nil {
+		t.Fatal(err)
+	}
+	// Hash index beats everything for equality.
+	res, err := db.Query("emp").Where("name", Eq, Str("Dave")).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !strings.Contains(res.Plan(), "hash lookup") {
+		t.Fatalf("len=%d plan:\n%s", res.Len(), res.Plan())
+	}
+	// Primary T Tree serves id equality.
+	res, err = db.Query("emp").Where("id", Eq, Int(44)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !strings.Contains(res.Plan(), "tree lookup") {
+		t.Fatalf("len=%d plan:\n%s", res.Len(), res.Plan())
+	}
+	// Unindexed column: sequential scan.
+	res, err = db.Query("emp").Where("age", Eq, Int(24)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !strings.Contains(res.Plan(), "sequential scan") {
+		t.Fatalf("len=%d plan:\n%s", res.Len(), res.Plan())
+	}
+	// Conjunction with residual filter.
+	res, err = db.Query("emp").Where("id", Gt, Int(20)).Where("age", Lt, Int(30)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // Dave (23,24) and Cindy (22,22)
+		t.Fatalf("conjunction len=%d plan:\n%s", res.Len(), res.Plan())
+	}
+	// Strict bound excludes the endpoint.
+	res, err = db.Query("emp").Where("id", Gt, Int(51)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("Gt len=%d", res.Len())
+	}
+	res, err = db.Query("emp").Where("id", Ge, Int(51)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("Ge len=%d", res.Len())
+	}
+	_ = dept
+}
+
+func TestDistinct(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+	res, err := db.Query("emp").Join("dept", "dept", Self).Select("dept.name").Distinct().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 { // Toy, Shoe, Linen (Paint has no employees)
+		t.Fatalf("distinct depts = %d: %v", res.Len(), names(res, 0))
+	}
+}
+
+func TestUniquePrimaryIndexEnforced(t *testing.T) {
+	_, emp, dept := openEmpDept(t, Options{})
+	seedEmpDept(t, emp, dept)
+	before := emp.Cardinality()
+	// id 23 already exists (Dave): the primary unique index rejects the
+	// insert before the relation changes.
+	if _, err := emp.Insert(Str("Dup"), Int(23), Int(30), Null); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	if emp.Cardinality() != before {
+		t.Fatalf("rejected insert changed cardinality: %d -> %d", before, emp.Cardinality())
+	}
+	// Updating another row onto an existing key is rejected too.
+	res, _ := db2Query(t, emp)
+	if err := emp.Update(res, "id", Int(23)); err == nil {
+		t.Fatal("duplicate key via update accepted")
+	}
+	// Updating a row to its own key is fine (no self-collision).
+	dave, _ := lookupByID(t, emp, 23)
+	if err := emp.Update(dave, "id", Int(23)); err != nil {
+		t.Fatalf("self-key update rejected: %v", err)
+	}
+	_ = dept
+}
+
+// db2Query fetches some non-Dave tuple for the duplicate-update check.
+func db2Query(t *testing.T, emp *Table) (*Tuple, error) {
+	t.Helper()
+	tp, err := lookupByID(t, emp, 44)
+	return tp, err
+}
+
+func lookupByID(t *testing.T, emp *Table, id int64) (*Tuple, error) {
+	t.Helper()
+	res, err := emp.db.Query("emp").Where("id", Eq, Int(id)).Run()
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("lookup %d: len=%d err=%v", id, res.Len(), err)
+	}
+	return res.Tuples(0)[0], nil
+}
+
+func TestTransactionsThroughAPI(t *testing.T) {
+	db, emp, dept := openEmpDept(t, Options{})
+	depts := seedEmpDept(t, emp, dept)
+	tx := db.Begin()
+	if err := tx.Insert(emp, Str("Walt"), Int(99), Int(40), Ref(depts["Toy"])); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Field(0).Str() != "Walt" {
+		t.Fatalf("inserted %v", ins)
+	}
+	// The new tuple is immediately visible through indices.
+	res, err := db.Query("emp").Where("id", Eq, Int(99)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("len=%d", res.Len())
+	}
+	// Abort leaves nothing behind.
+	tx2 := db.Begin()
+	if err := tx2.Insert(emp, Str("Nobody"), Int(100), Int(1), Null); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	res, _ = db.Query("emp").Where("id", Eq, Int(100)).Run()
+	if res.Len() != 0 {
+		t.Fatal("aborted insert visible")
+	}
+	// Update via txn repositions index entries.
+	tx3 := db.Begin()
+	if err := tx3.Update(emp, ins[0], "id", Int(101)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("emp").Where("id", Eq, Int(101)).Run()
+	if res.Len() != 1 {
+		t.Fatal("updated key not indexed")
+	}
+}
+
+func TestDurabilityThroughAPI(t *testing.T) {
+	dir := t.TempDir()
+	db, emp, dept := openEmpDept(t, Options{Dir: dir})
+	depts := seedEmpDept(t, emp, dept)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint change, left only in the accumulation log.
+	if _, err := emp.Insert(Str("Late"), Int(77), Int(33), Ref(depts["Paint"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: declare the same schema, recover, query.
+	db2, emp2, _ := openEmpDept(t, Options{Dir: dir})
+	if err := db2.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	if emp2.Cardinality() != 8 {
+		t.Fatalf("recovered %d employees", emp2.Cardinality())
+	}
+	res, err := db2.Query("emp").Where("id", Eq, Int(77)).Join("dept", "dept", Self).Select("dept.name").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Row(0)[0].Str() != "Paint" {
+		t.Fatalf("post-checkpoint insert not recovered correctly: %d rows", res.Len())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db, _, _ := openEmpDept(t, Options{})
+	if _, err := db.Query("nope").Run(); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Query("emp").Where("nope", Eq, Int(1)).Run(); err == nil {
+		t.Error("unknown where column accepted")
+	}
+	if _, err := db.Query("emp").Join("nope", "id", "id").Run(); err == nil {
+		t.Error("unknown join table accepted")
+	}
+	if _, err := db.Query("emp").Join("dept", "nope", "id").Run(); err == nil {
+		t.Error("unknown join column accepted")
+	}
+	if _, err := db.Query("emp").Select("nope").Run(); err == nil {
+		t.Error("unknown select column accepted")
+	}
+	if _, err := db.Query("emp").Join("dept", "id", "id").Join("dept", "id", "id").Run(); err == nil {
+		t.Error("three-way join accepted")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db, _ := Open(Options{})
+	if _, err := db.CreateTable("t", nil, "x", TTree); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := db.CreateTable("t", []Field{{Name: "a", Type: TypeInt}}, "nope", TTree); err == nil {
+		t.Error("bad primary column accepted")
+	}
+	if _, err := db.CreateTable("t", []Field{{Name: "a", Type: TypeInt}}, "a", TTree); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", []Field{{Name: "a", Type: TypeInt}}, "a", TTree); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tables()=%v", got)
+	}
+}

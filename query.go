@@ -1,0 +1,456 @@
+package mmdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/index/ttree"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// Op is a predicate operator.
+type Op = plan.CmpOp
+
+// Predicate operators.
+const (
+	Eq = plan.Eq
+	Ne = plan.Ne
+	Lt = plan.Lt
+	Le = plan.Le
+	Gt = plan.Gt
+	Ge = plan.Ge
+)
+
+// Self joins on tuple identity instead of a column — the pointer-compare
+// join of §2.1 Query 2 (the other side's column must be a Ref field).
+const Self = "__self__"
+
+// Query is a fluent query over one table, optionally joined to a second.
+// The planner picks access paths and join methods by the paper's
+// preference ordering (§4); Explain on the result shows its choices.
+type Query struct {
+	db       *Database
+	from     *Table
+	tx       *Txn
+	preds    []qpred
+	join     *qjoin
+	cols     []string
+	distinct bool
+	err      error
+}
+
+// In runs the query inside an existing transaction: its shared locks are
+// acquired (and retained, per two-phase locking) by tx instead of an
+// ephemeral reader. Use this whenever the surrounding transaction already
+// holds locks — an independent reader could queue behind a writer that
+// waits on the transaction, a cross-layer deadlock no lock manager sees.
+func (q *Query) In(tx *Txn) *Query {
+	q.tx = tx
+	return q
+}
+
+type qpred struct {
+	column string
+	field  int
+	op     Op
+	val    Value
+}
+
+type qjoin struct {
+	table                 *Table
+	leftCol, rightCol     string
+	leftField, rightField int
+}
+
+// Query starts a query over the named table.
+func (db *Database) Query(table string) *Query {
+	t, ok := db.Table(table)
+	if !ok {
+		return &Query{db: db, err: fmt.Errorf("mmdb: no table %q", table)}
+	}
+	return &Query{db: db, from: t}
+}
+
+// Where adds a predicate on a column of the from-table. Multiple
+// predicates are conjunctive; the planner serves the most selective
+// indexable one through an index and filters the rest during the scan.
+func (q *Query) Where(column string, op Op, v Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	f := q.from.ColumnIndex(column)
+	if f < 0 {
+		q.err = fmt.Errorf("mmdb: table %s has no column %q", q.from.Name(), column)
+		return q
+	}
+	q.preds = append(q.preds, qpred{column: column, field: f, op: op, val: v})
+	return q
+}
+
+// Join equijoins the from-table (left) with another table (right).
+// Either column may be Self to join on tuple identity, enabling
+// pointer-compare joins against Ref columns.
+func (q *Query) Join(table, leftColumn, rightColumn string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if q.join != nil {
+		q.err = fmt.Errorf("mmdb: only two-way joins are supported")
+		return q
+	}
+	t, ok := q.db.Table(table)
+	if !ok {
+		q.err = fmt.Errorf("mmdb: no table %q", table)
+		return q
+	}
+	j := &qjoin{table: t, leftCol: leftColumn, rightCol: rightColumn,
+		leftField: tupleindex.SelfField, rightField: tupleindex.SelfField}
+	if leftColumn != Self {
+		if j.leftField = q.from.ColumnIndex(leftColumn); j.leftField < 0 {
+			q.err = fmt.Errorf("mmdb: table %s has no column %q", q.from.Name(), leftColumn)
+			return q
+		}
+	}
+	if rightColumn != Self {
+		if j.rightField = t.ColumnIndex(rightColumn); j.rightField < 0 {
+			q.err = fmt.Errorf("mmdb: table %s has no column %q", table, rightColumn)
+			return q
+		}
+	}
+	q.join = j
+	return q
+}
+
+// Select names the output columns: "col" (resolved against the from-table
+// first, then the joined table) or "table.col". Without Select, every
+// column of every involved table is output.
+func (q *Query) Select(columns ...string) *Query {
+	q.cols = append(q.cols, columns...)
+	return q
+}
+
+// Distinct eliminates duplicate output rows (by hashing — the dominant
+// method, §3.4).
+func (q *Query) Distinct() *Query {
+	q.distinct = true
+	return q
+}
+
+// Result is a query result: a temporary list of tuple pointers plus the
+// descriptor naming its output columns. Values are extracted from the
+// source tuples on demand — the result holds no copied data.
+type Result struct {
+	list *storage.TempList
+	plan []string
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return r.list.Len() }
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string { return r.list.ColumnNames() }
+
+// Row materializes row i's output values.
+func (r *Result) Row(i int) []Value { return r.list.RowValues(i) }
+
+// Tuples returns row i's underlying tuple pointers.
+func (r *Result) Tuples(i int) []*Tuple { return r.list.Row(i) }
+
+// Plan describes the planner's choices, one line per decision.
+func (r *Result) Plan() string { return strings.Join(r.plan, "\n") }
+
+// truncate returns a result holding only the first n rows.
+func (r *Result) truncate(n int) *Result {
+	out := storage.MustTempList(r.list.Descriptor())
+	r.list.Scan(func(i int, row storage.Row) bool {
+		if i >= n {
+			return false
+		}
+		out.Append(row)
+		return true
+	})
+	return &Result{list: out, plan: r.plan}
+}
+
+// Run plans and executes the query under shared relation locks, so
+// queries are safe against concurrent transactions. Tables are locked in
+// name order to keep concurrent multi-table queries deadlock-free among
+// themselves.
+func (q *Query) Run() (*Result, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	reader := q.tx
+	if reader == nil {
+		ephemeral := q.db.Begin()
+		defer ephemeral.Abort() // releases the shared locks
+		reader = ephemeral
+	}
+	tables := []*Table{q.from}
+	if q.join != nil && q.join.table != q.from {
+		tables = append(tables, q.join.table)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
+	for _, t := range tables {
+		if err := reader.inner.LockRelationShared(t.rel); err != nil {
+			return nil, err
+		}
+	}
+	var planNotes []string
+
+	// Phase 1: selection on the from-table.
+	list, note, err := q.runSelection()
+	if err != nil {
+		return nil, err
+	}
+	planNotes = append(planNotes, note)
+
+	// Phase 2: join.
+	if q.join != nil {
+		list, note, err = q.runJoin(list)
+		if err != nil {
+			return nil, err
+		}
+		planNotes = append(planNotes, note)
+	}
+
+	// Phase 3: projection via the result descriptor; duplicate
+	// elimination only if requested (§2.3: projection is implicit).
+	list, err = q.project(list)
+	if err != nil {
+		return nil, err
+	}
+	if q.distinct {
+		list = exec.ProjectHash(list, nil)
+		planNotes = append(planNotes, "distinct: hash duplicate elimination")
+	}
+	return &Result{list: list, plan: planNotes}, nil
+}
+
+// Explain plans the query and describes the choices without running it to
+// completion (execution is required for planning against live data sizes,
+// so Explain simply runs and reports).
+func (q *Query) Explain() (string, error) {
+	r, err := q.Run()
+	if err != nil {
+		return "", err
+	}
+	return r.Plan(), nil
+}
+
+// runSelection evaluates the from-table predicates, producing a
+// single-source temp list and a plan note.
+func (q *Query) runSelection() (*storage.TempList, string, error) {
+	t := q.from
+	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema()}
+	if len(q.preds) == 0 {
+		list := storage.MustTempList(storage.Descriptor{Sources: []string{t.Name()}})
+		t.scanSource().Scan(func(tp *storage.Tuple) bool {
+			list.Append(storage.Row{tp})
+			return true
+		})
+		return list, fmt.Sprintf("access %s: full scan via %s index", t.Name(), t.primary.kind), nil
+	}
+	// Choose the indexable predicate with the best access path.
+	best, bestPath := -1, plan.PathSequentialScan
+	for i, p := range q.preds {
+		path := plan.ChooseSelection(plan.SelectionInput{
+			Op:      p.op,
+			HasHash: t.indexOn(p.field, false) != nil,
+			HasTree: t.indexOn(p.field, true) != nil,
+		})
+		if best == -1 || path < bestPath {
+			best, bestPath = i, path
+		}
+	}
+	p := q.preds[best]
+	var list *storage.TempList
+	switch bestPath {
+	case plan.PathHashLookup:
+		list = exec.SelectEqHash(t.indexOn(p.field, false).hashed, p.field, p.val, spec)
+	case plan.PathTreeLookup:
+		list = exec.SelectEqTree(t.indexOn(p.field, true).ordered, p.field, p.val, spec)
+	case plan.PathTreeRange:
+		var lo, hi *Value
+		switch p.op {
+		case Lt, Le:
+			hi = &p.val
+		case Gt, Ge:
+			lo = &p.val
+		}
+		list = exec.SelectRange(t.indexOn(p.field, true).ordered, p.field, lo, hi, spec)
+		// Range access is inclusive; strict bounds drop the endpoint below.
+	default:
+		list = exec.SelectScan(t.scanSource(), func(tp *storage.Tuple) bool { return true }, spec)
+	}
+	// Residual filter: every predicate re-checked (strict bounds, extra
+	// conjuncts, Ne).
+	out := storage.MustTempList(list.Descriptor())
+	list.Scan(func(_ int, row storage.Row) bool {
+		tp := row[0]
+		for _, pr := range q.preds {
+			if !predHolds(tp, pr) {
+				return true
+			}
+		}
+		out.Append(row)
+		return true
+	})
+	note := fmt.Sprintf("access %s: %s on %q", t.Name(), bestPath, p.column)
+	if len(q.preds) > 1 {
+		note += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
+	}
+	return out, note, nil
+}
+
+func predHolds(tp *storage.Tuple, p qpred) bool {
+	v := tp.Field(p.field)
+	if v.IsNull() || p.val.IsNull() {
+		return false
+	}
+	c := storage.Compare(v, p.val)
+	switch p.op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// runJoin joins the selection result (left) with the join table (right).
+func (q *Query) runJoin(left *storage.TempList) (*storage.TempList, string, error) {
+	j := q.join
+	outer := exec.ListColumn{List: left, Column: 0}
+	fullOuter := len(q.preds) == 0 // outer is the entire from-table
+
+	// Precomputed: left column is a Ref FK into the join table and the
+	// right side is tuple identity.
+	hasPre := false
+	if j.leftField >= 0 && j.rightCol == Self {
+		def := q.from.rel.Schema().Field(j.leftField)
+		hasPre = def.Type == storage.Ref && def.ForeignKey == j.table.Name()
+	}
+
+	outerTT := (*ttree.Tree[*storage.Tuple])(nil)
+	if fullOuter && j.leftField >= 0 {
+		if ix := q.from.indexOn(j.leftField, true); ix != nil {
+			outerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
+		}
+	}
+	var innerTT *ttree.Tree[*storage.Tuple]
+	var innerOrdered *Index
+	if j.rightField >= 0 {
+		if ix := j.table.indexOn(j.rightField, true); ix != nil {
+			innerOrdered = ix
+			innerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
+		}
+	}
+	var innerHash *Index
+	if j.rightField >= 0 {
+		innerHash = j.table.indexOn(j.rightField, false)
+	}
+
+	choice := plan.ChooseJoin(plan.JoinInput{
+		Equijoin:       true,
+		HasPrecomputed: hasPre,
+		OuterTree:      outerTT != nil,
+		InnerTree:      innerTT != nil,
+		InnerHash:      innerHash != nil,
+		OuterCard:      outer.Len(),
+		InnerCard:      j.table.Cardinality(),
+		DuplicatePct:   -1,
+		SemijoinPct:    -1,
+	})
+
+	spec := exec.JoinSpec{
+		OuterName: q.from.Name(), InnerName: j.table.Name(),
+		OuterField: j.leftField, InnerField: j.rightField,
+	}
+	var list *storage.TempList
+	switch choice {
+	case plan.JoinPrecomputed:
+		list = exec.PrecomputedJoin(outer, j.leftField, spec)
+	case plan.JoinTreeMerge:
+		list = exec.TreeMergeJoin(outerTT, innerTT, spec)
+	case plan.JoinTree:
+		list = exec.TreeJoin(outer, innerOrdered.ordered, spec)
+	case plan.JoinHash:
+		if innerHash != nil {
+			list = exec.HashJoinExisting(outer, innerHash.hashed, spec)
+		} else {
+			list = exec.HashJoin(outer, j.table.scanSource(), spec)
+		}
+	case plan.JoinSortMerge:
+		list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+	default:
+		list = exec.NestedLoopsJoin(outer, j.table.scanSource(), spec)
+	}
+	note := fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), j.table.Name(), choice)
+	return list, note, nil
+}
+
+// project rewrites the temp list's descriptor to the selected columns.
+func (q *Query) project(list *storage.TempList) (*storage.TempList, error) {
+	desc := list.Descriptor()
+	var cols []storage.ColRef
+	if len(q.cols) == 0 {
+		// All columns of all sources.
+		tables := []*Table{q.from}
+		if q.join != nil {
+			tables = append(tables, q.join.table)
+		}
+		for si, t := range tables {
+			for fi, f := range t.Schema() {
+				cols = append(cols, storage.ColRef{Source: si, Field: fi, Name: t.Name() + "." + f.Name})
+			}
+		}
+	} else {
+		for _, name := range q.cols {
+			ref, err := q.resolveColumn(name)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, ref)
+		}
+	}
+	out := storage.MustTempList(storage.Descriptor{Sources: desc.Sources, Cols: cols})
+	list.Scan(func(_ int, row storage.Row) bool {
+		out.Append(row)
+		return true
+	})
+	return out, nil
+}
+
+func (q *Query) resolveColumn(name string) (storage.ColRef, error) {
+	table, col := "", name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		table, col = name[:i], name[i+1:]
+	}
+	candidates := []*Table{q.from}
+	sources := []int{0}
+	if q.join != nil {
+		candidates = append(candidates, q.join.table)
+		sources = append(sources, 1)
+	}
+	for i, t := range candidates {
+		if table != "" && t.Name() != table {
+			continue
+		}
+		if f := t.ColumnIndex(col); f >= 0 {
+			return storage.ColRef{Source: sources[i], Field: f, Name: name}, nil
+		}
+	}
+	return storage.ColRef{}, fmt.Errorf("mmdb: cannot resolve column %q", name)
+}

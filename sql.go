@@ -1,0 +1,321 @@
+package mmdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// ExecResult is the outcome of Exec: a query Result for SELECT, a
+// rows-affected count for DML, and the plan description where one exists.
+type ExecResult struct {
+	Result       *Result // SELECT only (nil for EXPLAIN and non-queries)
+	RowsAffected int
+	Plan         string
+}
+
+// Exec parses and executes one SQL statement. The dialect covers the
+// engine's capabilities: CREATE TABLE (with REF(table) tuple-pointer
+// columns and a mandatory PRIMARY KEY index), CREATE [UNIQUE] INDEX,
+// INSERT (with REF(table, column, value) pointer literals), SELECT with
+// one JOIN / WHERE conjunctions / DISTINCT / LIMIT, EXPLAIN SELECT,
+// UPDATE, and DELETE. Statements run through the same planner as the
+// fluent API.
+func (db *Database) Exec(sql string) (*ExecResult, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sqlparser.CreateTable:
+		return db.execCreateTable(s)
+	case *sqlparser.CreateIndex:
+		return db.execCreateIndex(s)
+	case *sqlparser.Insert:
+		return db.execInsert(s)
+	case *sqlparser.Select:
+		return db.execSelect(s)
+	case *sqlparser.Update:
+		return db.execUpdate(s)
+	case *sqlparser.Delete:
+		return db.execDelete(s)
+	default:
+		return nil, fmt.Errorf("mmdb: unsupported statement %T", st)
+	}
+}
+
+// MustExec is Exec that panics on error; for tests and examples.
+func (db *Database) MustExec(sql string) *ExecResult {
+	r, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func sqlKind(name string) (IndexKind, error) {
+	switch strings.ToLower(name) {
+	case "", "ttree":
+		return TTree, nil
+	case "avl":
+		return AVLTree, nil
+	case "btree":
+		return BTree, nil
+	case "array":
+		return Array, nil
+	case "mlh", "modlinearhash":
+		return ModLinearHash, nil
+	case "chained", "chainedhash":
+		return ChainedHash, nil
+	case "extendible":
+		return Extendible, nil
+	case "linear", "linearhash":
+		return LinearHash, nil
+	default:
+		return 0, fmt.Errorf("mmdb: unknown index kind %q", name)
+	}
+}
+
+func (db *Database) execCreateTable(s *sqlparser.CreateTable) (*ExecResult, error) {
+	fields := make([]Field, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		f := Field{Name: c.Name}
+		switch c.Type {
+		case "INT", "INTEGER":
+			f.Type = TypeInt
+		case "FLOAT", "REAL":
+			f.Type = TypeFloat
+		case "STRING", "TEXT", "VARCHAR":
+			f.Type = TypeString
+		case "BOOL", "BOOLEAN":
+			f.Type = TypeBool
+		case "REF":
+			f.Type = TypeRef
+			f.ForeignKey = c.RefTable
+		default:
+			return nil, fmt.Errorf("mmdb: unknown column type %q", c.Type)
+		}
+		fields = append(fields, f)
+	}
+	kind, err := sqlKind(s.Using)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable(s.Name, fields, s.PrimaryKey, kind); err != nil {
+		return nil, err
+	}
+	return &ExecResult{}, nil
+}
+
+func (db *Database) execCreateIndex(s *sqlparser.CreateIndex) (*ExecResult, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no table %q", s.Table)
+	}
+	kind, err := sqlKind(s.Using)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("ix_%s_%s", s.Table, s.Column)
+	if s.Unique {
+		_, err = t.CreateUniqueIndex(name, s.Column, kind)
+	} else {
+		_, err = t.CreateIndex(name, s.Column, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{}, nil
+}
+
+// resolveExpr converts a parsed expression into a Value, resolving REF
+// expressions to tuple pointers by a unique lookup.
+func (db *Database) resolveExpr(e sqlparser.Expr) (Value, error) {
+	switch e.Kind {
+	case sqlparser.ExprNull:
+		return Null, nil
+	case sqlparser.ExprInt:
+		return Int(e.Int), nil
+	case sqlparser.ExprFloat:
+		return Float(e.Float), nil
+	case sqlparser.ExprString:
+		return Str(e.Str), nil
+	case sqlparser.ExprBool:
+		return Bool(e.Bool), nil
+	case sqlparser.ExprRef:
+		inner, err := db.resolveExpr(*e.Ref.Value)
+		if err != nil {
+			return Null, err
+		}
+		res, err := db.Query(e.Ref.Table).Where(e.Ref.Column, Eq, inner).Run()
+		if err != nil {
+			return Null, err
+		}
+		switch res.Len() {
+		case 0:
+			return Null, fmt.Errorf("mmdb: REF(%s, %s, %s) matches no row", e.Ref.Table, e.Ref.Column, inner)
+		case 1:
+			return Ref(res.Tuples(0)[0]), nil
+		default:
+			return Null, fmt.Errorf("mmdb: REF(%s, %s, %s) matches %d rows", e.Ref.Table, e.Ref.Column, inner, res.Len())
+		}
+	default:
+		return Null, fmt.Errorf("mmdb: bad expression kind %d", e.Kind)
+	}
+}
+
+func (db *Database) execInsert(s *sqlparser.Insert) (*ExecResult, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no table %q", s.Table)
+	}
+	tx := db.Begin()
+	for _, row := range s.Rows {
+		vals := make([]Value, len(row))
+		for i, e := range row {
+			v, err := db.resolveExpr(e)
+			if err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := tx.Insert(t, vals...); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	ins, err := tx.Commit()
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: len(ins)}, nil
+}
+
+func sqlOp(op string) (Op, error) {
+	switch op {
+	case "=":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	default:
+		return 0, fmt.Errorf("mmdb: bad operator %q", op)
+	}
+}
+
+// buildQuery assembles the fluent query for a parsed SELECT (or the
+// selection part of UPDATE/DELETE).
+func (db *Database) buildQuery(from string, where []sqlparser.Cond, join *sqlparser.Join, cols []string, distinct bool) (*Query, error) {
+	q := db.Query(from)
+	for _, c := range where {
+		op, err := sqlOp(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		v, err := db.resolveExpr(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		q = q.Where(c.Column, op, v)
+	}
+	if join != nil {
+		lc, rc := join.LeftCol, join.RightCol
+		if lc == "" {
+			lc = Self
+		}
+		if rc == "" {
+			rc = Self
+		}
+		q = q.Join(join.Table, lc, rc)
+	}
+	if len(cols) > 0 {
+		q = q.Select(cols...)
+	}
+	if distinct {
+		q = q.Distinct()
+	}
+	return q, nil
+}
+
+func (db *Database) execSelect(s *sqlparser.Select) (*ExecResult, error) {
+	q, err := db.buildQuery(s.From, s.Where, s.Join, s.Cols, s.Distinct)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	if s.Explain {
+		return &ExecResult{Plan: res.Plan()}, nil
+	}
+	if s.Limit >= 0 && res.Len() > s.Limit {
+		res = res.truncate(s.Limit)
+	}
+	return &ExecResult{Result: res, RowsAffected: res.Len(), Plan: res.Plan()}, nil
+}
+
+func (db *Database) execUpdate(s *sqlparser.Update) (*ExecResult, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no table %q", s.Table)
+	}
+	v, err := db.resolveExpr(s.Value)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.buildQuery(s.Table, s.Where, nil, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	for i := 0; i < res.Len(); i++ {
+		if err := tx.Update(t, res.Tuples(i)[0], s.Column, v); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: res.Len()}, nil
+}
+
+func (db *Database) execDelete(s *sqlparser.Delete) (*ExecResult, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no table %q", s.Table)
+	}
+	q, err := db.buildQuery(s.Table, s.Where, nil, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	for i := 0; i < res.Len(); i++ {
+		if err := tx.Delete(t, res.Tuples(i)[0]); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: res.Len()}, nil
+}

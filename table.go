@@ -1,0 +1,275 @@
+package mmdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// Table is a declared relation plus its indices. All query access to the
+// table goes through an index (§2.1).
+type Table struct {
+	db      *Database
+	rel     *storage.Relation
+	indices map[string]*Index
+	primary *Index
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.rel.Name() }
+
+// Cardinality returns the number of live tuples.
+func (t *Table) Cardinality() int { return t.rel.Cardinality() }
+
+// Schema returns the column definitions.
+func (t *Table) Schema() []Field { return t.rel.Schema().Fields() }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int { return t.rel.Schema().FieldIndex(name) }
+
+// Index is a named index over one column of a table.
+type Index struct {
+	name    string
+	column  string
+	field   int
+	kind    IndexKind
+	unique  bool
+	ordered tupleindex.Ordered // nil for hash structures
+	hashed  tupleindex.Hashed  // nil for ordered structures
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Kind returns the index structure kind.
+func (ix *Index) Kind() IndexKind { return ix.kind }
+
+// Column returns the indexed column.
+func (ix *Index) Column() string { return ix.column }
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int {
+	if ix.ordered != nil {
+		return ix.ordered.Len()
+	}
+	return ix.hashed.Len()
+}
+
+// Stats returns the structure's storage shape.
+func (ix *Index) Stats() index.Stats {
+	if ix.ordered != nil {
+		return ix.ordered.Stats()
+	}
+	return ix.hashed.Stats()
+}
+
+// CreateIndex adds a secondary index on the column and populates it from
+// the table's current contents.
+func (t *Table) CreateIndex(name, column string, kind IndexKind) (*Index, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.createIndexLocked(name, column, kind, false)
+}
+
+// CreateUniqueIndex adds a secondary unique index.
+func (t *Table) CreateUniqueIndex(name, column string, kind IndexKind) (*Index, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.createIndexLocked(name, column, kind, true)
+}
+
+func (t *Table) createIndexLocked(name, column string, kind IndexKind, unique bool) (*Index, error) {
+	if _, dup := t.indices[name]; dup {
+		return nil, fmt.Errorf("mmdb: index %q exists on %s", name, t.Name())
+	}
+	field := t.rel.Schema().FieldIndex(column)
+	if field < 0 {
+		return nil, fmt.Errorf("mmdb: table %s has no column %q", t.Name(), column)
+	}
+	ix := &Index{name: name, column: column, field: field, kind: kind, unique: unique}
+	if err := ix.build(t.rel); err != nil {
+		return nil, err
+	}
+	if unique && field != tupleindex.SelfField {
+		t.registerUniqueChecks(ix)
+	}
+	t.indices[name] = ix
+	if t.primary == nil {
+		t.primary = ix
+	}
+	return ix, nil
+}
+
+// registerUniqueChecks enforces the unique index at the storage layer:
+// inserts and updates that would duplicate an existing key are rejected
+// before any state changes. Null keys are exempt (no value to collide).
+func (t *Table) registerUniqueChecks(ix *Index) {
+	lookup := func(key storage.Value) (*storage.Tuple, bool) {
+		if ix.ordered != nil {
+			return ix.ordered.Search(tupleindex.PosFor(key, ix.field))
+		}
+		return ix.hashed.SearchKey(storage.Hash(key), func(x *storage.Tuple) bool {
+			return storage.Equal(tupleindex.KeyOf(x, ix.field), key)
+		})
+	}
+	t.rel.AddInsertCheck(func(vals []storage.Value) error {
+		key := vals[ix.field]
+		if key.IsNull() {
+			return nil
+		}
+		if _, dup := lookup(key); dup {
+			return fmt.Errorf("unique index %q: duplicate key %s", ix.name, key)
+		}
+		return nil
+	})
+	t.rel.AddUpdateCheck(func(tp *storage.Tuple, f int, v storage.Value) error {
+		if f != ix.field || v.IsNull() {
+			return nil
+		}
+		if existing, dup := lookup(v); dup && existing.Canonical() != tp.Canonical() {
+			return fmt.Errorf("unique index %q: duplicate key %s", ix.name, v)
+		}
+		return nil
+	})
+}
+
+// build (re)creates the underlying structure and populates it.
+func (ix *Index) build(rel *storage.Relation) error {
+	o := tupleindex.Options{Field: ix.field, Unique: ix.unique, Capacity: rel.Cardinality()}
+	var err error
+	if ix.kind.OrderPreserving() {
+		ix.ordered, err = tupleindex.NewOrdered(ix.kind, o)
+	} else {
+		ix.hashed, err = tupleindex.NewHashed(ix.kind, o)
+	}
+	if err != nil {
+		return err
+	}
+	failed := false
+	rel.ScanPhysical(func(tp *storage.Tuple) bool {
+		if !ix.insert(tp) {
+			failed = true
+			return false
+		}
+		return true
+	})
+	if failed {
+		return fmt.Errorf("mmdb: unique violation building index %q", ix.name)
+	}
+	rel.Observe(ix.maintainer())
+	return nil
+}
+
+func (ix *Index) insert(tp *storage.Tuple) bool {
+	if ix.ordered != nil {
+		return ix.ordered.Insert(tp)
+	}
+	return ix.hashed.Insert(tp)
+}
+
+func (ix *Index) remove(tp *storage.Tuple) bool {
+	if ix.ordered != nil {
+		return ix.ordered.Delete(tp)
+	}
+	return ix.hashed.Delete(tp)
+}
+
+// maintainer reads the structure through ix on every call, so swapping in
+// a fresh structure during recovery rebuild does not strand it.
+func (ix *Index) maintainer() storage.Observer {
+	return &tupleindex.Maintainer{Field: ix.field, Insert: ix.insert, Remove: ix.remove}
+}
+
+// rebuildIndices reconstructs every index from the relation's contents —
+// the final step of recovery (reloaded tuples bypass observers).
+func (t *Table) rebuildIndices() {
+	for _, ix := range t.indices {
+		o := tupleindex.Options{Field: ix.field, Unique: ix.unique, Capacity: t.rel.Cardinality()}
+		if ix.kind.OrderPreserving() {
+			ix.ordered, _ = tupleindex.NewOrdered(ix.kind, o)
+		} else {
+			ix.hashed, _ = tupleindex.NewHashed(ix.kind, o)
+		}
+		t.rel.ScanPhysical(func(tp *storage.Tuple) bool {
+			ix.insert(tp)
+			return true
+		})
+		// The maintainer registered at creation dispatches through ix, so
+		// it now feeds the new structure; re-registering would double-fire.
+	}
+}
+
+// Indexes lists the table's indices sorted by name.
+func (t *Table) Indexes() []*Index {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indices))
+	for _, ix := range t.indices {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// indexOn finds an index over the column: ordered=true restricts to
+// order-preserving structures, false to hash structures.
+func (t *Table) indexOn(field int, ordered bool) *Index {
+	for _, ix := range t.indices {
+		if ix.field != field {
+			continue
+		}
+		if ordered && ix.ordered != nil {
+			return ix
+		}
+		if !ordered && ix.hashed != nil {
+			return ix
+		}
+	}
+	return nil
+}
+
+// scanSource returns the table's cheapest full-scan source: the paper
+// scans relations through an index; any index serves.
+func (t *Table) scanSource() exec.Source {
+	if t.primary.ordered != nil {
+		return exec.OrderedScan{Index: t.primary.ordered}
+	}
+	return exec.HashedScan{Index: t.primary.hashed}
+}
+
+// Insert stores a row in its own transaction.
+func (t *Table) Insert(vals ...Value) (*Tuple, error) {
+	tx := t.db.Begin()
+	if err := tx.Insert(t, vals...); err != nil {
+		return nil, err
+	}
+	ins, err := tx.Commit()
+	if err != nil {
+		return nil, err
+	}
+	return ins[0], nil
+}
+
+// Update changes one column of a row in its own transaction.
+func (t *Table) Update(tp *Tuple, column string, v Value) error {
+	tx := t.db.Begin()
+	if err := tx.Update(t, tp, column, v); err != nil {
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// Delete removes a row in its own transaction.
+func (t *Table) Delete(tp *Tuple) error {
+	tx := t.db.Begin()
+	if err := tx.Delete(t, tp); err != nil {
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}

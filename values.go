@@ -1,0 +1,52 @@
+package mmdb
+
+import "repro/internal/storage"
+
+// Re-exported storage types: the public API speaks the same Value and
+// Tuple vocabulary as the engine, so query results hand back live tuple
+// pointers exactly as §2.3 prescribes.
+type (
+	// Value is a single attribute value.
+	Value = storage.Value
+	// Tuple is a stable pointer to a stored row.
+	Tuple = storage.Tuple
+	// FieldType identifies a column's type.
+	FieldType = storage.Type
+	// Field defines one column of a table schema.
+	Field = storage.FieldDef
+)
+
+// Column types.
+const (
+	TypeNull   = storage.Null
+	TypeInt    = storage.Int
+	TypeFloat  = storage.Float
+	TypeString = storage.Str
+	TypeBool   = storage.Bool
+	TypeRef    = storage.Ref
+)
+
+// Null is the null value.
+var Null = storage.NullValue
+
+// Int builds an integer value.
+func Int(v int64) Value { return storage.IntValue(v) }
+
+// Float builds a float value.
+func Float(v float64) Value { return storage.FloatValue(v) }
+
+// Str builds a string value.
+func Str(v string) Value { return storage.StringValue(v) }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return storage.BoolValue(v) }
+
+// Ref builds a tuple-pointer value — the precomputed-join foreign key of
+// §2.1.
+func Ref(t *Tuple) Value { return storage.RefValue(t) }
+
+// Compare orders two values of the same type (Null sorts first).
+func Compare(a, b Value) int { return storage.Compare(a, b) }
+
+// Equal tests two values for equality; mismatched types are unequal.
+func Equal(a, b Value) bool { return storage.Equal(a, b) }
