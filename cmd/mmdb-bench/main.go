@@ -15,7 +15,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/bench"
 )
@@ -60,8 +59,7 @@ func main() {
 	env := bench.Env{Scale: *scale, Seed: *seed}
 	fmt.Printf("mmdb-bench: scale=%.3g seed=%d (%d experiments)\n\n", *scale, *seed, len(selected))
 	for _, e := range selected {
-		start := time.Now()
-		series := e.Run(env)
+		series, stats := bench.Measure(e, env)
 		for _, s := range series {
 			fmt.Println(s.Format())
 			if *csvDir != "" {
@@ -72,6 +70,6 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s completed: %s]\n\n", e.ID, stats)
 	}
 }

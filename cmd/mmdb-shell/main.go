@@ -8,9 +8,13 @@
 //	.help                 show help
 //	.tables               list tables
 //	.schema <table>       columns and indexes
+//	.stats                engine metrics snapshot (queries, locks, txns, log, §3.1 ops)
+//	.analyze <select>     run the statement and print its operator trace
 //	.checkpoint           write all partitions to the disk copy
 //	.recover              recover declared tables from the disk copy
 //	.quit
+//
+// Backslash spellings (\stats, \analyze, …) are accepted as aliases.
 //
 // Example session:
 //
@@ -54,7 +58,7 @@ func main() {
 			continue
 		case line == ".quit" || line == ".exit" || line == "quit":
 			return
-		case strings.HasPrefix(line, "."):
+		case strings.HasPrefix(line, ".") || strings.HasPrefix(line, `\`):
 			if err := dotCommand(db, line); err != nil {
 				fmt.Println("error:", err)
 			}
@@ -66,13 +70,29 @@ func main() {
 
 func dotCommand(db *mmdb.Database, line string) error {
 	fields := strings.Fields(line)
-	switch fields[0] {
+	// Accept both ".cmd" and "\cmd" spellings.
+	cmd := "." + strings.TrimLeft(fields[0], `.\`)
+	switch cmd {
 	case ".help":
 		fmt.Println("  SQL: CREATE TABLE t (col TYPE..., PRIMARY KEY col [USING kind]) | CREATE [UNIQUE] INDEX ON t (col) [USING kind]")
 		fmt.Println("       INSERT INTO t VALUES (...)  — REF(table, col, value) writes a tuple pointer")
-		fmt.Println("       [EXPLAIN] SELECT [DISTINCT] cols FROM t [JOIN t2 ON a.x = b.y] [WHERE ...] [LIMIT n]")
+		fmt.Println("       [EXPLAIN [ANALYZE]] SELECT [DISTINCT] cols FROM t [JOIN t2 ON a.x = b.y] [WHERE ...] [LIMIT n]")
 		fmt.Println("       UPDATE t SET col = v [WHERE ...] | DELETE FROM t [WHERE ...]")
-		fmt.Println("  meta: .tables  .schema <t>  .checkpoint  .recover  .quit")
+		fmt.Println("  meta: .tables  .schema <t>  .stats  .analyze <select>  .checkpoint  .recover  .quit")
+		return nil
+	case ".stats":
+		fmt.Println(indent(db.Stats().String()))
+		return nil
+	case ".analyze":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		if sql == "" {
+			return fmt.Errorf("usage: .analyze SELECT ...")
+		}
+		r, err := db.Exec("EXPLAIN ANALYZE " + sql)
+		if err != nil {
+			return err
+		}
+		fmt.Println(indent(r.Plan))
 		return nil
 	case ".tables":
 		for _, n := range db.Tables() {
@@ -111,9 +131,18 @@ func dotCommand(db *mmdb.Database, line string) error {
 		}
 		fmt.Println("  recovered")
 		return nil
+	case ".quit", ".exit":
+		os.Exit(0)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try .help)", fields[0])
 	}
+}
+
+// indent prefixes every line with two spaces, matching the shell's output
+// style for multi-line blocks (stats, traces).
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }
 
 func runSQL(db *mmdb.Database, sql string) {

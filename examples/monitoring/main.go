@@ -4,13 +4,23 @@
 // primary index on the timestamp makes time-window queries range scans,
 // and a tuple-pointer foreign key links each event to its process.
 //
+// The example then turns the monitoring lens on the engine itself: the
+// per-query operator trace (EXPLAIN ANALYZE), the engine-wide metrics
+// registry (db.Stats()), and the curl-able Prometheus endpoint
+// (db.MetricsHandler()).
+//
 //	go run ./examples/monitoring
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	mmdb "repro"
 )
@@ -119,4 +129,46 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("lock-wait events: %d (plan: %s)\n", res.Len(), res.Plan())
+
+	// Now monitor the monitor. EXPLAIN ANALYZE executes the query and
+	// reports the operator tree: rows in/out, wall time, and the §3.1
+	// validity counters (comparisons, moves, hash calls, nodes) per
+	// operator.
+	r, err := db.Exec("EXPLAIN ANALYZE SELECT events.kind, procs.command FROM events JOIN procs ON events.proc = procs.SELF WHERE latency < 50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN ANALYZE:")
+	fmt.Println(indent(r.Plan))
+
+	// The engine-wide registry has been counting everything this program
+	// did: queries by plan shape, rows scanned vs returned, index probes
+	// per structure, transactions, log traffic.
+	fmt.Println("\ndb.Stats():")
+	fmt.Println(indent(db.Stats().String()))
+
+	// The same registry is curl-able. db.MetricsHandler() serves
+	// Prometheus text format (and JSON with ?format=json); mount it on
+	// any mux. Here an httptest server stands in for a real listener:
+	//
+	//	http.Handle("/metrics", db.MetricsHandler())
+	//	curl localhost:8080/metrics
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\ncurl " + srv.URL + " (first lines):")
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 8 && sc.Scan(); i++ {
+		fmt.Println("  " + sc.Text())
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// indent prefixes every line with two spaces.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }

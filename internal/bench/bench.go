@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -167,6 +168,41 @@ type Experiment struct {
 	ID      string
 	Exhibit string // the paper's table/figure name
 	Run     func(Env) []Series
+}
+
+// RunStats is the per-experiment metric snapshot the harness emits
+// alongside each exhibit: wall time plus Go runtime deltas over the run.
+// Experiments exercise raw index and operator structures (no Database),
+// so runtime counters — allocations, bytes, GC cycles — are the
+// engine-wide signal here; the per-operation §3.1 counters appear inside
+// the series that use them.
+type RunStats struct {
+	Wall   time.Duration
+	Allocs uint64 // heap objects allocated during the run
+	Bytes  uint64 // bytes allocated during the run
+	GCs    uint32 // GC cycles completed during the run
+}
+
+// String renders the snapshot as a compact single line.
+func (s RunStats) String() string {
+	return fmt.Sprintf("wall=%v allocs=%d bytes=%d gcs=%d",
+		s.Wall.Round(time.Millisecond), s.Allocs, s.Bytes, s.GCs)
+}
+
+// Measure runs the experiment and captures its metric snapshot.
+func Measure(e Experiment, env Env) ([]Series, RunStats) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	series := e.Run(env)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return series, RunStats{
+		Wall:   wall,
+		Allocs: after.Mallocs - before.Mallocs,
+		Bytes:  after.TotalAlloc - before.TotalAlloc,
+		GCs:    after.NumGC - before.NumGC,
+	}
 }
 
 // CSV renders the series as comma-separated values for external plotting:

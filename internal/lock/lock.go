@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -41,6 +42,19 @@ var ErrDeadlock = errors.New("lock: deadlock detected")
 // *storage.Partition pointers. Values must be comparable.
 type Resource any
 
+// Observer receives concurrency-control events. The obs registry
+// implements it; the interface lives here so the lock manager does not
+// depend on the metrics layer. Implementations must be safe for
+// concurrent use.
+type Observer interface {
+	// LockWait reports one request that had to queue, with the time it
+	// spent waiting (including requests that ended in an error).
+	LockWait(d time.Duration)
+	// Deadlock reports one request denied because waiting would have
+	// closed a cycle in the waits-for graph.
+	Deadlock()
+}
+
 // Manager is a blocking two-phase lock manager.
 type Manager struct {
 	mu    sync.Mutex
@@ -51,6 +65,7 @@ type Manager struct {
 	// queue tables on every check, so they can never go stale — a cycle
 	// that forms when lock ownership migrates is still found.
 	waitingOn map[TxnID]Resource
+	obs       Observer
 }
 
 type state struct {
@@ -71,6 +86,14 @@ func NewManager() *Manager {
 		held:      make(map[TxnID]map[Resource]Mode),
 		waitingOn: make(map[TxnID]Resource),
 	}
+}
+
+// SetObserver wires the metrics observer. Pass nil to disable. May be
+// called at any time; events in flight may use the previous observer.
+func (m *Manager) SetObserver(o Observer) {
+	m.mu.Lock()
+	m.obs = o
+	m.mu.Unlock()
 }
 
 // Lock acquires res in the given mode for txn, blocking until granted. It
@@ -98,16 +121,28 @@ func (m *Manager) Lock(txn TxnID, res Resource, mode Mode) error {
 	}
 	// Must wait. Record what we wait for, then check whether the wait
 	// closes a cycle in the (dynamically derived) waits-for graph.
+	obs := m.obs // captured under m.mu; callbacks run outside it
 	m.waitingOn[txn] = res
 	if m.cyclic(txn, txn, map[TxnID]bool{}) {
 		delete(m.waitingOn, txn)
 		m.mu.Unlock()
+		if obs != nil {
+			obs.Deadlock()
+		}
 		return ErrDeadlock
 	}
 	w := &waiter{txn: txn, mode: mode, granted: make(chan error, 1)}
 	st.queue = append(st.queue, w)
 	m.mu.Unlock()
-	return <-w.granted
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	err := <-w.granted
+	if obs != nil {
+		obs.LockWait(time.Since(start))
+	}
+	return err
 }
 
 // grantable reports whether txn can hold res in mode right now.

@@ -9,6 +9,14 @@
 // nor less. Counters are plain integer fields; incrementing a nil *Counters
 // is legal and free, which is the moral equivalent of the paper compiling
 // the counters out for the timed runs.
+//
+// Concurrency contract: a plain Counters value is single-goroutine — the
+// goroutine executing an operator owns its Counters exclusively for that
+// operator's lifetime. Operators that can run under concurrent readers
+// must either receive a private Counters per execution (the query layer
+// does this) or roll results into a SharedCounters, the atomic sibling
+// with the same Add* API, which the obs registry uses as its engine-wide
+// §3.1 accumulator.
 package meter
 
 import "fmt"

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/meter"
+)
+
+// Snapshot is a point-in-time copy of every metric the registry tracks.
+// It is a plain value: safe to retain, diff, and serialize.
+type Snapshot struct {
+	Queries       int64            `json:"queries"`
+	QueriesByPlan map[string]int64 `json:"queries_by_plan,omitempty"`
+	RowsScanned   int64            `json:"rows_scanned"`
+	RowsReturned  int64            `json:"rows_returned"`
+	IndexProbes   map[string]int64 `json:"index_probes,omitempty"`
+
+	LockWaits    int64         `json:"lock_waits"`
+	LockWaitTime time.Duration `json:"lock_wait_nanos"`
+	Deadlocks    int64         `json:"deadlocks"`
+
+	TxnBegins  int64 `json:"txn_begins"`
+	TxnCommits int64 `json:"txn_commits"`
+	TxnAborts  int64 `json:"txn_aborts"`
+
+	LogAppends int64 `json:"log_appends"`
+	LogWords   int64 `json:"log_words"`
+	LogFlushes int64 `json:"log_flushes"`
+
+	Ops meter.Counters `json:"ops"`
+
+	QueryLatency HistogramSnapshot `json:"query_latency"`
+}
+
+// Snapshot copies the registry's current state. Safe on a nil receiver
+// (returns the zero Snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Queries:       r.queries.Load(),
+		QueriesByPlan: r.planShapes.snapshot(),
+		RowsScanned:   r.rowsScanned.Load(),
+		RowsReturned:  r.rowsReturned.Load(),
+		IndexProbes:   r.indexProbes.snapshot(),
+		LockWaits:     r.lockWaits.Load(),
+		LockWaitTime:  time.Duration(r.lockWaitNanos.Load()),
+		Deadlocks:     r.deadlocks.Load(),
+		TxnBegins:     r.txnBegins.Load(),
+		TxnCommits:    r.txnCommits.Load(),
+		TxnAborts:     r.txnAborts.Load(),
+		LogAppends:    r.logAppends.Load(),
+		LogWords:      r.logWords.Load(),
+		LogFlushes:    r.logFlushes.Load(),
+		Ops:           r.ops.Snapshot(),
+		QueryLatency:  r.queryLatency.Snapshot(),
+	}
+}
+
+// String renders the snapshot as an aligned human-readable block — the
+// shell's \stats output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries           %d (scanned=%d returned=%d, mean latency %s)\n",
+		s.Queries, s.RowsScanned, s.RowsReturned, s.QueryLatency.Mean())
+	for _, k := range sortedKeys(s.QueriesByPlan) {
+		fmt.Fprintf(&b, "  plan %-24s %d\n", k, s.QueriesByPlan[k])
+	}
+	for _, k := range sortedKeys(s.IndexProbes) {
+		fmt.Fprintf(&b, "  probes %-22s %d\n", k, s.IndexProbes[k])
+	}
+	fmt.Fprintf(&b, "transactions      begin=%d commit=%d abort=%d\n", s.TxnBegins, s.TxnCommits, s.TxnAborts)
+	fmt.Fprintf(&b, "locks             waits=%d wait time=%s deadlocks=%d\n", s.LockWaits, s.LockWaitTime, s.Deadlocks)
+	fmt.Fprintf(&b, "log               appends=%d words=%d flushes=%d\n", s.LogAppends, s.LogWords, s.LogFlushes)
+	fmt.Fprintf(&b, "ops (§3.1)        %s", s.Ops.String())
+	return b.String()
+}
+
+// Sub returns the element-wise difference s - prev (histograms excluded;
+// the latency snapshot is carried from s). Useful for per-interval or
+// per-experiment deltas.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := s
+	d.Queries -= prev.Queries
+	d.RowsScanned -= prev.RowsScanned
+	d.RowsReturned -= prev.RowsReturned
+	d.LockWaits -= prev.LockWaits
+	d.LockWaitTime -= prev.LockWaitTime
+	d.Deadlocks -= prev.Deadlocks
+	d.TxnBegins -= prev.TxnBegins
+	d.TxnCommits -= prev.TxnCommits
+	d.TxnAborts -= prev.TxnAborts
+	d.LogAppends -= prev.LogAppends
+	d.LogWords -= prev.LogWords
+	d.LogFlushes -= prev.LogFlushes
+	d.Ops = s.Ops
+	d.Ops.Comparisons -= prev.Ops.Comparisons
+	d.Ops.DataMoves -= prev.Ops.DataMoves
+	d.Ops.HashCalls -= prev.Ops.HashCalls
+	d.Ops.NodesVisited -= prev.Ops.NodesVisited
+	d.Ops.Allocations -= prev.Ops.Allocations
+	d.Ops.Rotations -= prev.Ops.Rotations
+	d.QueriesByPlan = subMap(s.QueriesByPlan, prev.QueriesByPlan)
+	d.IndexProbes = subMap(s.IndexProbes, prev.IndexProbes)
+	return d
+}
+
+func subMap(cur, prev map[string]int64) map[string]int64 {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(cur))
+	for k, v := range cur {
+		if n := v - prev[k]; n != 0 {
+			out[k] = n
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// WritePrometheus writes the registry's state in the Prometheus text
+// exposition format (metric names under the mmdb_ prefix). Safe on a nil
+// receiver (writes nothing but a comment).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "# mmdb metrics disabled")
+		return
+	}
+	s := r.Snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mmdb_queries_total", "Queries executed.", s.Queries)
+	counter("mmdb_rows_scanned_total", "Base-relation tuples fetched by queries.", s.RowsScanned)
+	counter("mmdb_rows_returned_total", "Result rows returned by queries.", s.RowsReturned)
+	labeled := func(name, help, label string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, k := range sortedKeys(m) {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, m[k])
+		}
+	}
+	labeled("mmdb_queries_by_plan_total", "Queries by plan shape.", "plan", s.QueriesByPlan)
+	labeled("mmdb_index_probes_total", "Index probes by structure kind.", "kind", s.IndexProbes)
+	counter("mmdb_lock_waits_total", "Lock requests that had to queue.", s.LockWaits)
+	counter("mmdb_lock_wait_nanoseconds_total", "Total time spent waiting for locks.", int64(s.LockWaitTime))
+	counter("mmdb_deadlocks_total", "Deadlock-victim aborts.", s.Deadlocks)
+	counter("mmdb_txn_begins_total", "Transactions begun.", s.TxnBegins)
+	counter("mmdb_txn_commits_total", "Transactions committed.", s.TxnCommits)
+	counter("mmdb_txn_aborts_total", "Transactions aborted.", s.TxnAborts)
+	counter("mmdb_log_appends_total", "Records appended to the stable log buffer.", s.LogAppends)
+	counter("mmdb_log_words_total", "4-byte words written to the stable log buffer.", s.LogWords)
+	counter("mmdb_log_flushes_total", "Commit releases to the active log device.", s.LogFlushes)
+	counter("mmdb_ops_comparisons_total", "Key/value comparisons (paper §3.1).", s.Ops.Comparisons)
+	counter("mmdb_ops_data_moves_total", "Element copies or shifts (paper §3.1).", s.Ops.DataMoves)
+	counter("mmdb_ops_hash_calls_total", "Hash function evaluations (paper §3.1).", s.Ops.HashCalls)
+	counter("mmdb_ops_nodes_visited_total", "Index nodes touched (paper §3.1).", s.Ops.NodesVisited)
+	counter("mmdb_ops_allocations_total", "Index nodes or buckets allocated (paper §3.1).", s.Ops.Allocations)
+	counter("mmdb_ops_rotations_total", "Tree rebalance rotations (paper §3.1).", s.Ops.Rotations)
+
+	// Histogram in cumulative Prometheus form.
+	h := s.QueryLatency
+	fmt.Fprintf(w, "# HELP mmdb_query_seconds Query wall time.\n# TYPE mmdb_query_seconds histogram\n")
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.N
+		le := "+Inf"
+		if b.Le != 0 {
+			le = fmt.Sprintf("%g", b.Le.Seconds())
+		}
+		fmt.Fprintf(w, "mmdb_query_seconds_bucket{le=%q} %d\n", le, cum)
+	}
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Le != 0 {
+		fmt.Fprintf(w, "mmdb_query_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	}
+	fmt.Fprintf(w, "mmdb_query_seconds_sum %g\n", h.Sum.Seconds())
+	fmt.Fprintf(w, "mmdb_query_seconds_count %d\n", h.Count)
+}
+
+// Handler returns an HTTP handler exposing the registry: Prometheus text
+// format by default, the JSON snapshot (expvar-style) with ?format=json.
+// Safe on a nil receiver.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+// Expvar returns the registry as an expvar.Func for callers that publish
+// into the process-wide expvar map, e.g.
+//
+//	expvar.Publish("mmdb", reg.Expvar())
+//
+// (Publishing is left to the caller because expvar panics on duplicate
+// names — one process may open several databases.)
+func (r *Registry) Expvar() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram: bucket bounds are set
+// once at construction, observations are two atomic adds plus a short
+// search, and snapshots never block writers. The fixed layout is the
+// zero-allocation guarantee — nothing on the observe path grows.
+type Histogram struct {
+	bounds   []time.Duration // ascending upper bounds; observations above the last land in the overflow bucket
+	buckets  []atomic.Int64  // len(bounds)+1, last = overflow
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// DefaultLatencyBounds returns the default doubling layout: 1µs, 2µs, …
+// ~8.4s (24 buckets), wide enough for both hot cached lookups and cold
+// scans.
+func DefaultLatencyBounds() []time.Duration {
+	bounds := make([]time.Duration, 24)
+	d := time.Microsecond
+	for i := range bounds {
+		bounds[i] = d
+		d *= 2
+	}
+	return bounds
+}
+
+func (h *Histogram) init(bounds []time.Duration) {
+	h.bounds = bounds
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || h.buckets == nil {
+		return
+	}
+	// Binary search for the first bound >= d.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Bucket is one cumulative-exposition bucket: N observations at or below
+// Le.
+type Bucket struct {
+	Le time.Duration // +Inf for the overflow bucket (Le == 0 marks it)
+	N  int64         // count within this bucket (not cumulative)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets []Bucket // non-empty buckets only, ascending; overflow has Le == 0
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot copies the histogram's current state, dropping empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil || h.buckets == nil {
+		return HistogramSnapshot{}
+	}
+	out := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNanos.Load()),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{N: n}
+		if i < len(h.bounds) {
+			b.Le = h.bounds[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/meter"
+)
+
+func TestRegistryRecordsQueries(t *testing.T) {
+	r := NewRegistry()
+	r.RecordQuery("hash lookup", 100, 10, 5*time.Microsecond,
+		meter.Counters{Comparisons: 7, HashCalls: 1})
+	r.RecordQuery("hash lookup", 50, 5, 3*time.Microsecond,
+		meter.Counters{Comparisons: 3})
+	r.RecordQuery("full scan", 1000, 1000, 90*time.Microsecond, meter.Counters{})
+	r.IndexProbe("T Tree", 2)
+	r.IndexProbe("Mod Linear Hash", 1)
+	r.IndexProbe("Array", 0) // no-op
+
+	s := r.Snapshot()
+	if s.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", s.Queries)
+	}
+	if s.RowsScanned != 1150 || s.RowsReturned != 1015 {
+		t.Fatalf("rows scanned/returned = %d/%d, want 1150/1015", s.RowsScanned, s.RowsReturned)
+	}
+	if got := s.QueriesByPlan["hash lookup"]; got != 2 {
+		t.Fatalf("plan[hash lookup] = %d, want 2", got)
+	}
+	if got := s.QueriesByPlan["full scan"]; got != 1 {
+		t.Fatalf("plan[full scan] = %d, want 1", got)
+	}
+	if got := s.IndexProbes["T Tree"]; got != 2 {
+		t.Fatalf("probes[T Tree] = %d, want 2", got)
+	}
+	if _, ok := s.IndexProbes["Array"]; ok {
+		t.Fatal("zero probe count should not register a label")
+	}
+	if s.Ops.Comparisons != 10 || s.Ops.HashCalls != 1 {
+		t.Fatalf("ops = %+v, want cmp=10 hash=1", s.Ops)
+	}
+	if s.QueryLatency.Count != 3 {
+		t.Fatalf("latency count = %d, want 3", s.QueryLatency.Count)
+	}
+	if want := 98 * time.Microsecond / 3; s.QueryLatency.Mean() != want {
+		t.Fatalf("latency mean = %s, want %s", s.QueryLatency.Mean(), want)
+	}
+}
+
+func TestRegistryEngineEvents(t *testing.T) {
+	r := NewRegistry()
+	r.TxnBegin()
+	r.TxnBegin()
+	r.TxnCommit()
+	r.TxnAbort()
+	r.LockWait(2 * time.Millisecond)
+	r.LockWait(3 * time.Millisecond)
+	r.Deadlock()
+	r.LogAppend(9)
+	r.LogAppend(11)
+	r.LogFlush(2)
+
+	s := r.Snapshot()
+	if s.TxnBegins != 2 || s.TxnCommits != 1 || s.TxnAborts != 1 {
+		t.Fatalf("txn = %d/%d/%d, want 2/1/1", s.TxnBegins, s.TxnCommits, s.TxnAborts)
+	}
+	if s.LockWaits != 2 || s.LockWaitTime != 5*time.Millisecond || s.Deadlocks != 1 {
+		t.Fatalf("locks = %d waits %s deadlocks=%d", s.LockWaits, s.LockWaitTime, s.Deadlocks)
+	}
+	if s.LogAppends != 2 || s.LogWords != 20 || s.LogFlushes != 1 {
+		t.Fatalf("log = appends=%d words=%d flushes=%d", s.LogAppends, s.LogWords, s.LogFlushes)
+	}
+}
+
+// TestNilRegistry exercises the disabled state: every method must be a
+// no-op on a nil receiver, and a nil snapshot must be the zero value.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.RecordQuery("x", 1, 1, time.Second, meter.Counters{Comparisons: 1})
+	r.IndexProbe("T Tree", 1)
+	r.LockWait(time.Second)
+	r.Deadlock()
+	r.TxnBegin()
+	r.TxnCommit()
+	r.TxnAbort()
+	r.LogAppend(4)
+	r.LogFlush(1)
+	r.Meter().AddCompare(5) // nil SharedCounters tolerates adds
+	if s := r.Snapshot(); s.Queries != 0 || s.Ops != (meter.Counters{}) ||
+		s.QueriesByPlan != nil || s.QueryLatency.Count != 0 {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "disabled") {
+		t.Fatalf("nil WritePrometheus = %q", b.String())
+	}
+}
+
+// TestDisabledRegistryAllocs pins the zero-cost guarantee: the disabled
+// hot path allocates nothing.
+func TestDisabledRegistryAllocs(t *testing.T) {
+	var r *Registry
+	ops := meter.Counters{Comparisons: 3}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RecordQuery("shape", 10, 5, time.Microsecond, ops)
+		r.IndexProbe("T Tree", 1)
+		r.LockWait(time.Microsecond)
+		r.TxnBegin()
+		r.LogAppend(8)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled registry allocates %.1f objects per event batch, want 0", allocs)
+	}
+}
+
+// TestRegistryConcurrent hammers every mutator from many goroutines; run
+// with -race. Totals must come out exact — atomic counters lose nothing.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shape := [2]string{"hash lookup", "full scan"}[g%2]
+			for i := 0; i < iters; i++ {
+				r.RecordQuery(shape, 10, 1, time.Duration(i)*time.Microsecond,
+					meter.Counters{Comparisons: 2, NodesVisited: 1})
+				r.IndexProbe("T Tree", 1)
+				r.TxnBegin()
+				r.TxnCommit()
+				r.LockWait(time.Microsecond)
+				r.LogAppend(4)
+				if i%100 == 0 {
+					_ = r.Snapshot() // readers never block writers
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	total := int64(goroutines * iters)
+	if s.Queries != total {
+		t.Fatalf("Queries = %d, want %d", s.Queries, total)
+	}
+	if got := s.QueriesByPlan["hash lookup"] + s.QueriesByPlan["full scan"]; got != total {
+		t.Fatalf("plan counts sum to %d, want %d", got, total)
+	}
+	if s.IndexProbes["T Tree"] != total {
+		t.Fatalf("probes = %d, want %d", s.IndexProbes["T Tree"], total)
+	}
+	if s.Ops.Comparisons != 2*total || s.Ops.NodesVisited != total {
+		t.Fatalf("ops = %+v", s.Ops)
+	}
+	if s.TxnBegins != total || s.TxnCommits != total {
+		t.Fatalf("txn = %d/%d, want %d each", s.TxnBegins, s.TxnCommits, total)
+	}
+	if s.QueryLatency.Count != total {
+		t.Fatalf("latency count = %d, want %d", s.QueryLatency.Count, total)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.init([]time.Duration{time.Microsecond, 10 * time.Microsecond, time.Millisecond})
+	h.Observe(500 * time.Nanosecond) // bucket le=1µs
+	h.Observe(time.Microsecond)      // le=1µs (inclusive upper bound)
+	h.Observe(2 * time.Microsecond)  // le=10µs
+	h.Observe(time.Second)           // overflow
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	want := []Bucket{
+		{Le: time.Microsecond, N: 2},
+		{Le: 10 * time.Microsecond, N: 1},
+		{Le: 0, N: 1}, // overflow
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	r.RecordQuery("full scan", 100, 100, time.Millisecond, meter.Counters{Comparisons: 5})
+	before := r.Snapshot()
+	r.RecordQuery("hash lookup", 10, 1, time.Microsecond, meter.Counters{Comparisons: 2, HashCalls: 1})
+	r.TxnBegin()
+	d := r.Snapshot().Sub(before)
+	if d.Queries != 1 || d.RowsScanned != 10 || d.RowsReturned != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Ops.Comparisons != 2 || d.Ops.HashCalls != 1 {
+		t.Fatalf("delta ops = %+v", d.Ops)
+	}
+	if d.QueriesByPlan["hash lookup"] != 1 || d.QueriesByPlan["full scan"] != 0 {
+		t.Fatalf("delta plans = %+v", d.QueriesByPlan)
+	}
+	if d.TxnBegins != 1 {
+		t.Fatalf("delta txn begins = %d", d.TxnBegins)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.RecordQuery("tree lookup→Hash Join", 100, 10, 3*time.Microsecond,
+		meter.Counters{Comparisons: 12, HashCalls: 4})
+	r.IndexProbe("T Tree", 1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"mmdb_queries_total 1",
+		"mmdb_rows_scanned_total 100",
+		"mmdb_rows_returned_total 10",
+		`mmdb_queries_by_plan_total{plan="tree lookup→Hash Join"} 1`,
+		`mmdb_index_probes_total{kind="T Tree"} 1`,
+		"mmdb_ops_comparisons_total 12",
+		"mmdb_ops_hash_calls_total 4",
+		"mmdb_query_seconds_count 1",
+		`mmdb_query_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.RecordQuery("full scan", 5, 5, time.Microsecond, meter.Counters{})
+
+	// Default: Prometheus text.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "mmdb_queries_total 1") {
+		t.Fatalf("prometheus body = %q", rec.Body.String())
+	}
+
+	// ?format=json: the snapshot.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if s.Queries != 1 || s.RowsScanned != 5 {
+		t.Fatalf("json snapshot = %+v", s)
+	}
+}
+
+// BenchmarkObsOverhead is the CI guard for the disabled-path cost: a nil
+// registry must add zero allocations per recorded event.
+func BenchmarkObsOverhead(b *testing.B) {
+	var r *Registry
+	ops := meter.Counters{Comparisons: 3, NodesVisited: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RecordQuery("shape", 100, 10, time.Microsecond, ops)
+		r.IndexProbe("T Tree", 1)
+		r.TxnBegin()
+	}
+}
+
+// BenchmarkObsEnabled measures the enabled hot path for comparison: a few
+// atomic adds plus a read-locked map hit.
+func BenchmarkObsEnabled(b *testing.B) {
+	r := NewRegistry()
+	ops := meter.Counters{Comparisons: 3, NodesVisited: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RecordQuery("shape", 100, 10, time.Microsecond, ops)
+		r.IndexProbe("T Tree", 1)
+		r.TxnBegin()
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/meter"
+)
+
+// TraceNode is one operator of an executed query plan: what the planner
+// chose, how many rows flowed through, how long it took, and the §3.1
+// operation counts it accumulated. Children are sub-operators (a join
+// node's child is the selection feeding its outer side, and so on); the
+// engine's two-table pipeline produces shallow trees, but the type is a
+// general tree so future multi-way plans fit.
+type TraceNode struct {
+	Op         string        // operator: "select", "join", "project", "distinct"
+	Detail     string        // human description: tables, columns, predicates
+	AccessPath string        // the planner's choice: access path or join method
+	RowsIn     int           // tuples entering the operator
+	RowsOut    int           // rows the operator emitted
+	Wall       time.Duration // operator wall time
+	Ops        meter.Counters
+	Children   []*TraceNode
+}
+
+// Add appends a child operator and returns it.
+func (n *TraceNode) Add(child *TraceNode) *TraceNode {
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// QueryTrace is the execution trace of one query: the operator tree plus
+// query-level totals. It is produced by Query.Analyze / EXPLAIN ANALYZE
+// and describes what actually ran — every line is an executed operator,
+// not an estimate.
+type QueryTrace struct {
+	Root  *TraceNode
+	Total time.Duration // end-to-end wall time, including locking and planning
+}
+
+// TotalOps sums the §3.1 counters over the whole tree.
+func (t *QueryTrace) TotalOps() meter.Counters {
+	var sum meter.Counters
+	if t == nil {
+		return sum
+	}
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		if n == nil {
+			return
+		}
+		sum.Add(n.Ops)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return sum
+}
+
+// Format renders the trace as an indented operator tree:
+//
+//	executed: 3 rows in 412µs (cmp=121 move=0 hash=41 ...)
+//	├─ select emp: hash lookup on "dept"  rows in=10000 out=40  wall=120µs  [cmp=41 hash=1]
+//	└─ join emp ⋈ dept: Hash Join  rows in=40 out=40  wall=80µs  [cmp=80 hash=40]
+func (t *QueryTrace) Format() string {
+	if t == nil || t.Root == nil {
+		return "executed: (no trace)"
+	}
+	var b strings.Builder
+	ops := t.TotalOps()
+	fmt.Fprintf(&b, "executed: %d rows in %s", t.Root.RowsOut, fmtDur(t.Total))
+	if ops != (meter.Counters{}) {
+		fmt.Fprintf(&b, " (%s)", ops.String())
+	}
+	b.WriteByte('\n')
+	for i, c := range t.Root.Children {
+		writeNode(&b, c, "", i == len(t.Root.Children)-1)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func writeNode(b *strings.Builder, n *TraceNode, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	b.WriteString(prefix)
+	b.WriteString(branch)
+	b.WriteString(n.Line())
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		writeNode(b, c, childPrefix, i == len(n.Children)-1)
+	}
+}
+
+// Line renders one operator as a single line.
+func (n *TraceNode) Line() string {
+	var b strings.Builder
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(n.Detail)
+	}
+	if n.AccessPath != "" {
+		fmt.Fprintf(&b, ": %s", n.AccessPath)
+	}
+	fmt.Fprintf(&b, "  rows in=%d out=%d  wall=%s", n.RowsIn, n.RowsOut, fmtDur(n.Wall))
+	if n.Ops != (meter.Counters{}) {
+		fmt.Fprintf(&b, "  [%s]", compactOps(n.Ops))
+	}
+	return b.String()
+}
+
+// compactOps renders only the non-zero §3.1 counters.
+func compactOps(c meter.Counters) string {
+	parts := make([]string, 0, 6)
+	add := func(name string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("cmp", c.Comparisons)
+	add("move", c.DataMoves)
+	add("hash", c.HashCalls)
+	add("node", c.NodesVisited)
+	add("alloc", c.Allocations)
+	add("rot", c.Rotations)
+	if len(parts) == 0 {
+		return "no ops"
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtDur rounds a duration to a readable precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

@@ -53,6 +53,30 @@ type PartKey struct {
 	Part int
 }
 
+// Observer receives log-traffic events. The obs registry implements it;
+// the interface lives here so the recovery layer does not depend on the
+// metrics layer. Implementations must be safe for concurrent use.
+type Observer interface {
+	// LogAppend reports one record written into the stable log buffer and
+	// its approximate size in 4-byte words — the unit the paper budgets
+	// log bandwidth in.
+	LogAppend(words int)
+	// LogFlush reports one commit releasing n records to the active log
+	// device (the change-accumulation log).
+	LogFlush(records int)
+}
+
+// Words estimates the record's stable-buffer footprint in 4-byte words:
+// a fixed header (LSN, transaction, op/field, partition, tuple ID) plus
+// each value image's tag and payload.
+func (r *Record) Words() int {
+	w := 8
+	for _, v := range r.Vals {
+		w += 3 + (len(v.Str)+3)/4
+	}
+	return w
+}
+
 // Manager is the stable log buffer plus the active log device's state.
 type Manager struct {
 	dir string
@@ -66,6 +90,15 @@ type Manager struct {
 	// cal is the change-accumulation log: committed records not yet
 	// reflected in the disk-copy partition images, keyed by partition.
 	cal map[PartKey][]*Record
+	obs Observer
+}
+
+// SetObserver wires the metrics observer. Pass nil to disable. May be
+// called at any time; events in flight may use the previous observer.
+func (m *Manager) SetObserver(o Observer) {
+	m.mu.Lock()
+	m.obs = o
+	m.mu.Unlock()
 }
 
 // NewManager creates a manager whose disk copy lives under dir.
@@ -89,12 +122,16 @@ func (m *Manager) Dir() string { return m.dir }
 // caller once placement is known (routing metadata, not payload).
 func (m *Manager) Append(txn uint64, rec Record) *Record {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.nextLSN++
 	rec.LSN = m.nextLSN
 	rec.Txn = txn
 	r := &rec
 	m.stable[txn] = append(m.stable[txn], r)
+	obs := m.obs
+	m.mu.Unlock()
+	if obs != nil {
+		obs.LogAppend(r.Words())
+	}
 	return r
 }
 
@@ -111,12 +148,17 @@ func (m *Manager) Abort(txn uint64) {
 // propagated to the disk copy.
 func (m *Manager) Commit(txn uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	released := len(m.stable[txn])
 	for _, r := range m.stable[txn] {
 		k := PartKey{Rel: r.Rel, Part: r.Part}
 		m.cal[k] = append(m.cal[k], r)
 	}
 	delete(m.stable, txn)
+	obs := m.obs
+	m.mu.Unlock()
+	if obs != nil {
+		obs.LogFlush(released)
+	}
 }
 
 // PendingRecords returns how many committed records await propagation.

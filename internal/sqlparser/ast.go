@@ -85,9 +85,11 @@ type Join struct {
 }
 
 // Select is SELECT [DISTINCT] cols FROM table [JOIN ...] [WHERE ...]
-// [LIMIT n]; Explain marks EXPLAIN SELECT.
+// [LIMIT n]; Explain marks EXPLAIN SELECT, and Analyze additionally marks
+// EXPLAIN ANALYZE SELECT (execute and report the operator trace).
 type Select struct {
 	Explain  bool
+	Analyze  bool
 	Distinct bool
 	Cols     []string // empty = *
 	From     string

@@ -92,6 +92,7 @@ func (p *parser) statement() (Statement, error) {
 	case p.kw("insert"):
 		return p.insert()
 	case p.kw("explain"):
+		analyze := p.kw("analyze")
 		if err := p.expectKw("select"); err != nil {
 			return nil, err
 		}
@@ -100,6 +101,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		sel.Explain = true
+		sel.Analyze = analyze
 		return sel, nil
 	case p.kw("select"):
 		return p.selectStmt()

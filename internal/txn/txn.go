@@ -19,11 +19,25 @@ import (
 // ErrDone is returned when a finished transaction is used again.
 var ErrDone = errors.New("txn: transaction already committed or aborted")
 
+// Observer receives transaction lifecycle events. The obs registry
+// implements it; the interface lives here so the transaction layer does
+// not depend on the metrics layer. Implementations must be safe for
+// concurrent use.
+type Observer interface {
+	TxnBegin()
+	TxnCommit()
+	TxnAbort()
+}
+
 // Manager creates transactions over a shared lock manager and log.
 type Manager struct {
 	Locks *lock.Manager
 	Log   *recovery.Manager
-	next  uint64
+	// Obs, when non-nil, receives begin/commit/abort events. Wire it
+	// before the manager serves traffic; it is read without
+	// synchronization afterwards.
+	Obs  Observer
+	next uint64
 }
 
 // NewManager wires a transaction manager. log may be nil for a database
@@ -37,7 +51,18 @@ func NewManager(locks *lock.Manager, log *recovery.Manager) *Manager {
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
+	if m.Obs != nil {
+		m.Obs.TxnBegin()
+	}
 	return &Txn{m: m, id: atomic.AddUint64(&m.next, 1)}
+}
+
+// BeginUntracked starts a transaction that bypasses the observer — for
+// internal ephemeral readers (e.g. the query layer's lock-holding
+// pseudo-transaction) whose begin/abort pairs would distort transaction
+// metrics. Locking and logging behave exactly as in Begin.
+func (m *Manager) BeginUntracked() *Txn {
+	return &Txn{m: m, id: atomic.AddUint64(&m.next, 1), untracked: true}
 }
 
 type opKind uint8
@@ -62,10 +87,11 @@ type op struct {
 // read-your-writes), which is the natural consequence of §2.4's
 // no-undo design.
 type Txn struct {
-	m    *Manager
-	id   uint64
-	ops  []op
-	done bool
+	m         *Manager
+	id        uint64
+	ops       []op
+	done      bool
+	untracked bool // ephemeral reader: skip observer events
 }
 
 // ID returns the transaction identifier.
@@ -178,6 +204,9 @@ func (t *Txn) Abort() {
 		t.m.Log.Abort(t.id)
 	}
 	t.m.Locks.ReleaseAll(t.lockID())
+	if t.m.Obs != nil && !t.untracked {
+		t.m.Obs.TxnAbort()
+	}
 }
 
 // Commit validates the buffered updates, writes each log record into the
@@ -252,5 +281,8 @@ func (t *Txn) Commit() ([]*storage.Tuple, error) {
 		t.m.Log.Commit(t.id)
 	}
 	t.m.Locks.ReleaseAll(t.lockID())
+	if t.m.Obs != nil && !t.untracked {
+		t.m.Obs.TxnCommit()
+	}
 	return inserted, nil
 }

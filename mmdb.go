@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -63,6 +64,11 @@ type Options struct {
 	// tracks", §2.1).
 	SlotsPerPartition int
 	HeapPerPartition  int
+	// DisableMetrics turns the engine metrics registry off. Disabled,
+	// every instrumentation point degenerates to a nil check — no atomics,
+	// no allocations (see BenchmarkObsOverhead) — the moral equivalent of
+	// the paper compiling its §3.1 counters out for the timed runs.
+	DisableMetrics bool
 }
 
 // Database is a main-memory database: a set of tables, a partition-level
@@ -76,6 +82,7 @@ type Database struct {
 	log    *recovery.Manager
 	txns   *txn.Manager
 	device *recovery.Device
+	obs    *obs.Registry // nil when Options.DisableMetrics
 }
 
 // Open creates a database. With Options.Dir set, a previously saved disk
@@ -87,17 +94,27 @@ func Open(opts Options) (*Database, error) {
 		tables: make(map[string]*Table),
 		locks:  lock.NewManager(),
 	}
+	if !opts.DisableMetrics {
+		db.obs = obs.NewRegistry()
+		db.locks.SetObserver(db.obs)
+	}
 	if opts.Dir != "" {
 		log, err := recovery.NewManager(opts.Dir)
 		if err != nil {
 			return nil, err
 		}
 		db.log = log
+		if db.obs != nil {
+			log.SetObserver(db.obs)
+		}
 		if opts.DeviceInterval > 0 {
 			db.device = log.StartDevice(opts.DeviceInterval)
 		}
 	}
 	db.txns = txn.NewManager(db.locks, db.log)
+	if db.obs != nil {
+		db.txns.Obs = db.obs
+	}
 	return db, nil
 }
 

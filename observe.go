@@ -1,0 +1,41 @@
+package mmdb
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Stats is a point-in-time snapshot of the engine metrics registry:
+// queries by plan shape, rows scanned/returned, index probes per
+// structure, lock waits, transaction outcomes, log traffic, the query
+// latency histogram, and the paper's §3.1 operation counters rolled up
+// from internal/meter.
+type Stats = obs.Snapshot
+
+// QueryTrace is the per-query execution trace produced by Query.Analyze
+// and EXPLAIN ANALYZE: an operator tree where each node records the
+// access path the planner chose, rows in/out, wall time, and the §3.1
+// operation counters that operator accumulated.
+type QueryTrace = obs.QueryTrace
+
+// TraceNode is one operator of a QueryTrace.
+type TraceNode = obs.TraceNode
+
+// Stats snapshots the engine metrics. With metrics disabled
+// (Options.DisableMetrics) it returns the zero Stats.
+func (db *Database) Stats() Stats { return db.obs.Snapshot() }
+
+// Metrics returns the engine metrics registry, or nil when metrics are
+// disabled. All registry methods are safe on a nil receiver, so callers
+// may use the result unconditionally.
+func (db *Database) Metrics() *obs.Registry { return db.obs }
+
+// MetricsHandler returns an HTTP handler exposing the engine metrics:
+// Prometheus text format by default, a JSON snapshot with ?format=json.
+//
+//	mux.Handle("/metrics", db.MetricsHandler())
+//	// curl localhost:8080/metrics | grep mmdb_queries_total
+//
+// With metrics disabled the handler serves a single comment line.
+func (db *Database) MetricsHandler() http.Handler { return db.obs.Handler() }

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/index/ttree"
+	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -31,7 +34,8 @@ const Self = "__self__"
 
 // Query is a fluent query over one table, optionally joined to a second.
 // The planner picks access paths and join methods by the paper's
-// preference ordering (§4); Explain on the result shows its choices.
+// preference ordering (§4); Explain describes its expected choices,
+// Analyze runs the query and reports what actually executed.
 type Query struct {
 	db       *Database
 	from     *Table
@@ -41,6 +45,10 @@ type Query struct {
 	cols     []string
 	distinct bool
 	err      error
+	// forceJoin overrides the planner's join choice — a testing hook that
+	// lets trace tests exercise methods the preference ordering would not
+	// pick (sort-merge, nested loops). Never set by public API.
+	forceJoin *plan.JoinMethod
 }
 
 // In runs the query inside an existing transaction: its shared locks are
@@ -160,7 +168,10 @@ func (r *Result) Row(i int) []Value { return r.list.RowValues(i) }
 // Tuples returns row i's underlying tuple pointers.
 func (r *Result) Tuples(i int) []*Tuple { return r.list.Row(i) }
 
-// Plan describes the planner's choices, one line per decision.
+// Plan describes the executed plan — the choices the planner actually
+// made while running this query, one line per decision. For estimates
+// without execution use Query.Explain; for per-operator rows, wall time,
+// and §3.1 counters use Query.Analyze.
 func (r *Result) Plan() string { return strings.Join(r.plan, "\n") }
 
 // truncate returns a result holding only the first n rows.
@@ -181,12 +192,36 @@ func (r *Result) truncate(n int) *Result {
 // name order to keep concurrent multi-table queries deadlock-free among
 // themselves.
 func (q *Query) Run() (*Result, error) {
+	res, _, err := q.execute(false)
+	return res, err
+}
+
+// Analyze runs the query exactly as Run does and additionally returns its
+// execution trace: one node per operator with the chosen access path,
+// rows in/out, wall time, and the §3.1 operation counters (comparisons,
+// data moves, hash calls, …) that operator accumulated. The SQL form is
+// EXPLAIN ANALYZE SELECT ….
+func (q *Query) Analyze() (*Result, *QueryTrace, error) {
+	res, tr, err := q.execute(true)
+	return res, tr, err
+}
+
+// execute is the shared Run/Analyze engine. With analyze set it builds
+// the operator trace; whenever the database's metrics registry is enabled
+// it also accumulates per-query metrics. With both disabled the overhead
+// is a handful of nil checks and no allocations beyond Run's own.
+func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	if q.err != nil {
-		return nil, q.err
+		return nil, nil, q.err
 	}
+	reg := q.db.obs
+	collect := reg != nil || analyze
+
 	reader := q.tx
 	if reader == nil {
-		ephemeral := q.db.Begin()
+		// Untracked: the ephemeral lock-holder's begin/abort pair is not a
+		// user transaction and would distort txn metrics.
+		ephemeral := &Txn{db: q.db, inner: q.db.txns.BeginUntracked()}
 		defer ephemeral.Abort() // releases the shared locks
 		reader = ephemeral
 	}
@@ -197,65 +232,188 @@ func (q *Query) Run() (*Result, error) {
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
 	for _, t := range tables {
 		if err := reader.inner.LockRelationShared(t.rel); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+
+	var start time.Time
+	if collect {
+		start = time.Now()
+	}
 	var planNotes []string
+	var total meter.Counters // §3.1 rollup across operators
+	scanned := int64(0)      // base-relation tuples fetched
+
+	var trace *QueryTrace
+	var root *obs.TraceNode
+	if analyze {
+		root = &obs.TraceNode{Op: "query", Detail: q.from.Name()}
+		trace = &QueryTrace{Root: root}
+	}
 
 	// Phase 1: selection on the from-table.
-	list, note, err := q.runSelection()
-	if err != nil {
-		return nil, err
+	var selMeter meter.Counters
+	var mp *meter.Counters
+	if collect {
+		mp = &selMeter
 	}
-	planNotes = append(planNotes, note)
+	t0 := start
+	sel := q.runSelection(mp)
+	list := sel.list
+	planNotes = append(planNotes, "access "+q.from.Name()+": "+sel.pathDesc)
+	if collect {
+		total.Add(selMeter)
+		scanned += int64(sel.rowsIn)
+		if sel.probeKind != "" {
+			reg.IndexProbe(sel.probeKind, sel.probes)
+		}
+	}
+	if analyze {
+		now := time.Now()
+		root.Add(&obs.TraceNode{
+			Op: "select", Detail: q.from.Name(), AccessPath: sel.pathDesc,
+			RowsIn: sel.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: selMeter,
+		})
+		t0 = now
+	}
+
+	shape := ""
+	if collect {
+		shape = sel.path.String()
+		if len(q.preds) == 0 {
+			shape = "full scan"
+		}
+	}
 
 	// Phase 2: join.
 	if q.join != nil {
-		list, note, err = q.runJoin(list)
-		if err != nil {
-			return nil, err
+		var joinMeter meter.Counters
+		if collect {
+			mp = &joinMeter
 		}
-		planNotes = append(planNotes, note)
+		jr := q.runJoin(list, mp)
+		list = jr.list
+		planNotes = append(planNotes,
+			fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), q.join.table.Name(), jr.method))
+		if collect {
+			total.Add(joinMeter)
+			scanned += int64(jr.innerScanned)
+			shape += "→" + jr.method.String()
+			if jr.probeKind != "" {
+				reg.IndexProbe(jr.probeKind, jr.probes)
+			}
+		}
+		if analyze {
+			now := time.Now()
+			root.Add(&obs.TraceNode{
+				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
+				AccessPath: jr.method.String(),
+				RowsIn:     jr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
+			})
+			t0 = now
+		}
 	}
 
 	// Phase 3: projection via the result descriptor; duplicate
 	// elimination only if requested (§2.3: projection is implicit).
-	list, err = q.project(list)
+	preProject := list.Len()
+	list, err := q.project(list)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if analyze {
+		now := time.Now()
+		root.Add(&obs.TraceNode{
+			Op: "project", Detail: fmt.Sprintf("%d column(s)", len(list.Descriptor().Cols)),
+			AccessPath: "descriptor rewrite",
+			RowsIn:     preProject, RowsOut: list.Len(), Wall: now.Sub(t0),
+		})
+		t0 = now
 	}
 	if q.distinct {
-		list = exec.ProjectHash(list, nil)
+		var dupMeter meter.Counters
+		if collect {
+			mp = &dupMeter
+		} else {
+			mp = nil
+		}
+		preDistinct := list.Len()
+		list = exec.ProjectHash(list, mp)
 		planNotes = append(planNotes, "distinct: hash duplicate elimination")
+		if collect {
+			total.Add(dupMeter)
+		}
+		if analyze {
+			now := time.Now()
+			root.Add(&obs.TraceNode{
+				Op: "distinct", AccessPath: "hash duplicate elimination",
+				RowsIn: preDistinct, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: dupMeter,
+			})
+		}
 	}
-	return &Result{list: list, plan: planNotes}, nil
+
+	if collect {
+		if q.distinct {
+			shape += "+distinct"
+		}
+		wall := time.Since(start)
+		if reg != nil {
+			reg.RecordQuery(shape, scanned, int64(list.Len()), wall, total)
+		}
+		if analyze {
+			root.RowsIn = sel.rowsIn
+			root.RowsOut = list.Len()
+			trace.Total = wall
+		}
+	}
+	return &Result{list: list, plan: planNotes}, trace, nil
 }
 
-// Explain plans the query and describes the choices without running it to
-// completion (execution is required for planning against live data sizes,
-// so Explain simply runs and reports).
+// Explain plans the query and describes the expected choices without
+// executing it: no locks are taken, no tuples are fetched, and nothing is
+// built. Selection paths depend only on which indices exist, so they are
+// exact; the join method additionally depends on the live outer
+// cardinality, which Explain estimates from the catalog (the from-table's
+// cardinality is an upper bound once predicates filter it), and says so.
+// For the executed plan use Result.Plan or Query.Analyze.
 func (q *Query) Explain() (string, error) {
-	r, err := q.Run()
-	if err != nil {
-		return "", err
+	if q.err != nil {
+		return "", q.err
 	}
-	return r.Plan(), nil
+	lines := []string{"planned (catalog estimates; nothing executed):"}
+	t := q.from
+	outerEst := t.Cardinality()
+	outerExact := len(q.preds) == 0
+	if outerExact {
+		lines = append(lines, fmt.Sprintf("access %s: full scan via %s index", t.Name(), t.primary.kind))
+	} else {
+		best, bestPath := q.chooseSelectionPath()
+		p := q.preds[best]
+		note := fmt.Sprintf("access %s: %s on %q", t.Name(), bestPath, p.column)
+		if len(q.preds) > 1 {
+			note += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
+		}
+		lines = append(lines, note)
+	}
+	if q.join != nil {
+		jp := q.joinPlanning(outerExact)
+		choice := jp.choose(outerEst, q.join.table.Cardinality())
+		note := fmt.Sprintf("join %s ⋈ %s: %s", t.Name(), q.join.table.Name(), choice)
+		if !outerExact {
+			note += fmt.Sprintf(" (outer estimated ≤ %d rows; runtime may switch methods on the live size)", outerEst)
+		}
+		lines = append(lines, note)
+	}
+	if q.distinct {
+		lines = append(lines, "distinct: hash duplicate elimination")
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
-// runSelection evaluates the from-table predicates, producing a
-// single-source temp list and a plan note.
-func (q *Query) runSelection() (*storage.TempList, string, error) {
+// chooseSelectionPath picks the indexable predicate with the best access
+// path by the §4 preference order; pure planning, no execution.
+func (q *Query) chooseSelectionPath() (int, plan.AccessPath) {
 	t := q.from
-	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema()}
-	if len(q.preds) == 0 {
-		list := storage.MustTempList(storage.Descriptor{Sources: []string{t.Name()}})
-		t.scanSource().Scan(func(tp *storage.Tuple) bool {
-			list.Append(storage.Row{tp})
-			return true
-		})
-		return list, fmt.Sprintf("access %s: full scan via %s index", t.Name(), t.primary.kind), nil
-	}
-	// Choose the indexable predicate with the best access path.
 	best, bestPath := -1, plan.PathSequentialScan
 	for i, p := range q.preds {
 		path := plan.ChooseSelection(plan.SelectionInput{
@@ -267,13 +425,52 @@ func (q *Query) runSelection() (*storage.TempList, string, error) {
 			best, bestPath = i, path
 		}
 	}
+	return best, bestPath
+}
+
+// selExec is the outcome of the selection phase plus the numbers the
+// observability layer reports.
+type selExec struct {
+	list      *storage.TempList
+	pathDesc  string          // human description: "hash lookup on \"dept\" + 1 residual filter(s)"
+	path      plan.AccessPath // the §4 choice
+	rowsIn    int             // base-relation tuples fetched (pre-residual)
+	probeKind string          // index structure probed ("" for scans)
+	probes    int64
+}
+
+// runSelection evaluates the from-table predicates, producing a
+// single-source temp list. The meter, when non-nil, accumulates the §3.1
+// operation counts of the index probe and the residual filter.
+func (q *Query) runSelection(m *meter.Counters) selExec {
+	t := q.from
+	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m}
+	if len(q.preds) == 0 {
+		list := storage.MustTempList(storage.Descriptor{Sources: []string{t.Name()}})
+		t.scanSource().Scan(func(tp *storage.Tuple) bool {
+			list.Append(storage.Row{tp})
+			return true
+		})
+		return selExec{
+			list:     list,
+			pathDesc: fmt.Sprintf("full scan via %s index", t.primary.kind),
+			path:     plan.PathSequentialScan,
+			rowsIn:   list.Len(),
+		}
+	}
+	best, bestPath := q.chooseSelectionPath()
 	p := q.preds[best]
 	var list *storage.TempList
+	probeKind, probes := "", int64(0)
 	switch bestPath {
 	case plan.PathHashLookup:
-		list = exec.SelectEqHash(t.indexOn(p.field, false).hashed, p.field, p.val, spec)
+		ix := t.indexOn(p.field, false)
+		list = exec.SelectEqHash(ix.hashed, p.field, p.val, spec)
+		probeKind, probes = ix.kind.String(), 1
 	case plan.PathTreeLookup:
-		list = exec.SelectEqTree(t.indexOn(p.field, true).ordered, p.field, p.val, spec)
+		ix := t.indexOn(p.field, true)
+		list = exec.SelectEqTree(ix.ordered, p.field, p.val, spec)
+		probeKind, probes = ix.kind.String(), 1
 	case plan.PathTreeRange:
 		var lo, hi *Value
 		switch p.op {
@@ -282,10 +479,16 @@ func (q *Query) runSelection() (*storage.TempList, string, error) {
 		case Gt, Ge:
 			lo = &p.val
 		}
-		list = exec.SelectRange(t.indexOn(p.field, true).ordered, p.field, lo, hi, spec)
+		ix := t.indexOn(p.field, true)
+		list = exec.SelectRange(ix.ordered, p.field, lo, hi, spec)
+		probeKind, probes = ix.kind.String(), 1
 		// Range access is inclusive; strict bounds drop the endpoint below.
 	default:
 		list = exec.SelectScan(t.scanSource(), func(tp *storage.Tuple) bool { return true }, spec)
+	}
+	rowsIn := list.Len()
+	if bestPath == plan.PathSequentialScan {
+		rowsIn = t.Cardinality()
 	}
 	// Residual filter: every predicate re-checked (strict bounds, extra
 	// conjuncts, Ne).
@@ -293,6 +496,7 @@ func (q *Query) runSelection() (*storage.TempList, string, error) {
 	list.Scan(func(_ int, row storage.Row) bool {
 		tp := row[0]
 		for _, pr := range q.preds {
+			m.AddCompare(1)
 			if !predHolds(tp, pr) {
 				return true
 			}
@@ -300,11 +504,18 @@ func (q *Query) runSelection() (*storage.TempList, string, error) {
 		out.Append(row)
 		return true
 	})
-	note := fmt.Sprintf("access %s: %s on %q", t.Name(), bestPath, p.column)
+	pathDesc := fmt.Sprintf("%s on %q", bestPath, p.column)
 	if len(q.preds) > 1 {
-		note += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
+		pathDesc += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
 	}
-	return out, note, nil
+	return selExec{
+		list:      out,
+		pathDesc:  pathDesc,
+		path:      bestPath,
+		rowsIn:    rowsIn,
+		probeKind: probeKind,
+		probes:    probes,
+	}
 }
 
 func predHolds(tp *storage.Tuple, p qpred) bool {
@@ -329,76 +540,115 @@ func predHolds(tp *storage.Tuple, p qpred) bool {
 	}
 }
 
-// runJoin joins the selection result (left) with the join table (right).
-func (q *Query) runJoin(left *storage.TempList) (*storage.TempList, string, error) {
+// joinPlanning gathers the catalog facts the join choice depends on:
+// which indices exist on the join columns and whether a precomputed
+// pointer join applies. Pure planning, no execution.
+type joinPlanning struct {
+	hasPre       bool
+	outerTT      *ttree.Tree[*storage.Tuple]
+	innerTT      *ttree.Tree[*storage.Tuple]
+	innerOrdered *Index
+	innerHash    *Index
+}
+
+func (q *Query) joinPlanning(fullOuter bool) joinPlanning {
 	j := q.join
-	outer := exec.ListColumn{List: left, Column: 0}
-	fullOuter := len(q.preds) == 0 // outer is the entire from-table
+	var jp joinPlanning
 
 	// Precomputed: left column is a Ref FK into the join table and the
 	// right side is tuple identity.
-	hasPre := false
 	if j.leftField >= 0 && j.rightCol == Self {
 		def := q.from.rel.Schema().Field(j.leftField)
-		hasPre = def.Type == storage.Ref && def.ForeignKey == j.table.Name()
+		jp.hasPre = def.Type == storage.Ref && def.ForeignKey == j.table.Name()
 	}
-
-	outerTT := (*ttree.Tree[*storage.Tuple])(nil)
 	if fullOuter && j.leftField >= 0 {
 		if ix := q.from.indexOn(j.leftField, true); ix != nil {
-			outerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
+			jp.outerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
 		}
 	}
-	var innerTT *ttree.Tree[*storage.Tuple]
-	var innerOrdered *Index
 	if j.rightField >= 0 {
 		if ix := j.table.indexOn(j.rightField, true); ix != nil {
-			innerOrdered = ix
-			innerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
+			jp.innerOrdered = ix
+			jp.innerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
 		}
+		jp.innerHash = j.table.indexOn(j.rightField, false)
 	}
-	var innerHash *Index
-	if j.rightField >= 0 {
-		innerHash = j.table.indexOn(j.rightField, false)
-	}
+	return jp
+}
 
-	choice := plan.ChooseJoin(plan.JoinInput{
+func (jp joinPlanning) choose(outerCard, innerCard int) plan.JoinMethod {
+	return plan.ChooseJoin(plan.JoinInput{
 		Equijoin:       true,
-		HasPrecomputed: hasPre,
-		OuterTree:      outerTT != nil,
-		InnerTree:      innerTT != nil,
-		InnerHash:      innerHash != nil,
-		OuterCard:      outer.Len(),
-		InnerCard:      j.table.Cardinality(),
+		HasPrecomputed: jp.hasPre,
+		OuterTree:      jp.outerTT != nil,
+		InnerTree:      jp.innerTT != nil,
+		InnerHash:      jp.innerHash != nil,
+		OuterCard:      outerCard,
+		InnerCard:      innerCard,
 		DuplicatePct:   -1,
 		SemijoinPct:    -1,
 	})
+}
+
+// joinExec is the outcome of the join phase plus the numbers the
+// observability layer reports.
+type joinExec struct {
+	list         *storage.TempList
+	method       plan.JoinMethod
+	rowsIn       int    // outer rows entering the join
+	innerScanned int    // inner tuples examined (estimate per method)
+	probeKind    string // inner index structure probed ("" when none)
+	probes       int64
+}
+
+// runJoin joins the selection result (left) with the join table (right).
+// The meter, when non-nil, accumulates the join's §3.1 operation counts.
+func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
+	j := q.join
+	outer := exec.ListColumn{List: left, Column: 0}
+	fullOuter := len(q.preds) == 0 // outer is the entire from-table
+	jp := q.joinPlanning(fullOuter)
+	innerCard := j.table.Cardinality()
+
+	choice := jp.choose(outer.Len(), innerCard)
+	if q.forceJoin != nil {
+		choice = *q.forceJoin
+	}
 
 	spec := exec.JoinSpec{
 		OuterName: q.from.Name(), InnerName: j.table.Name(),
 		OuterField: j.leftField, InnerField: j.rightField,
+		Meter: m,
 	}
-	var list *storage.TempList
+	out := joinExec{method: choice, rowsIn: outer.Len()}
 	switch choice {
 	case plan.JoinPrecomputed:
-		list = exec.PrecomputedJoin(outer, j.leftField, spec)
+		out.list = exec.PrecomputedJoin(outer, j.leftField, spec)
+		out.innerScanned = out.list.Len() // one pointer dereference per match
 	case plan.JoinTreeMerge:
-		list = exec.TreeMergeJoin(outerTT, innerTT, spec)
+		out.list = exec.TreeMergeJoin(jp.outerTT, jp.innerTT, spec)
+		out.innerScanned = innerCard // full ordered merge of the inner index
 	case plan.JoinTree:
-		list = exec.TreeJoin(outer, innerOrdered.ordered, spec)
+		out.list = exec.TreeJoin(outer, jp.innerOrdered.ordered, spec)
+		out.innerScanned = out.list.Len()
+		out.probeKind, out.probes = jp.innerOrdered.kind.String(), int64(outer.Len())
 	case plan.JoinHash:
-		if innerHash != nil {
-			list = exec.HashJoinExisting(outer, innerHash.hashed, spec)
+		if jp.innerHash != nil {
+			out.list = exec.HashJoinExisting(outer, jp.innerHash.hashed, spec)
+			out.innerScanned = out.list.Len()
+			out.probeKind, out.probes = jp.innerHash.kind.String(), int64(outer.Len())
 		} else {
-			list = exec.HashJoin(outer, j.table.scanSource(), spec)
+			out.list = exec.HashJoin(outer, j.table.scanSource(), spec)
+			out.innerScanned = innerCard // build pass scans the inner relation
 		}
 	case plan.JoinSortMerge:
-		list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+		out.list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+		out.innerScanned = innerCard // build pass scans the inner relation
 	default:
-		list = exec.NestedLoopsJoin(outer, j.table.scanSource(), spec)
+		out.list = exec.NestedLoopsJoin(outer, j.table.scanSource(), spec)
+		out.innerScanned = outer.Len() * innerCard
 	}
-	note := fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), j.table.Name(), choice)
-	return list, note, nil
+	return out
 }
 
 // project rewrites the temp list's descriptor to the selected columns.

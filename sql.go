@@ -19,9 +19,10 @@ type ExecResult struct {
 // engine's capabilities: CREATE TABLE (with REF(table) tuple-pointer
 // columns and a mandatory PRIMARY KEY index), CREATE [UNIQUE] INDEX,
 // INSERT (with REF(table, column, value) pointer literals), SELECT with
-// one JOIN / WHERE conjunctions / DISTINCT / LIMIT, EXPLAIN SELECT,
-// UPDATE, and DELETE. Statements run through the same planner as the
-// fluent API.
+// one JOIN / WHERE conjunctions / DISTINCT / LIMIT, EXPLAIN SELECT
+// (planned choices, nothing executed), EXPLAIN ANALYZE SELECT (executed
+// operator trace with rows, wall time, and §3.1 counters), UPDATE, and
+// DELETE. Statements run through the same planner as the fluent API.
 func (db *Database) Exec(sql string) (*ExecResult, error) {
 	st, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -251,12 +252,26 @@ func (db *Database) execSelect(s *sqlparser.Select) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Explain && s.Analyze {
+		// EXPLAIN ANALYZE: execute and report the operator trace — per
+		// operator rows in/out, wall time, and §3.1 counters.
+		_, trace, err := q.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Plan: trace.Format()}, nil
+	}
+	if s.Explain {
+		// Plain EXPLAIN: describe the planned choices without executing.
+		planned, err := q.Explain()
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Plan: planned}, nil
+	}
 	res, err := q.Run()
 	if err != nil {
 		return nil, err
-	}
-	if s.Explain {
-		return &ExecResult{Plan: res.Plan()}, nil
 	}
 	if s.Limit >= 0 && res.Len() > s.Limit {
 		res = res.truncate(s.Limit)
