@@ -26,6 +26,7 @@ func main() {
 		seed       = flag.Int64("seed", 1986, "workload seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvDir     = flag.String("csv", "", "also write each series as <dir>/<id>.csv for plotting")
+		par        = flag.Int("parallelism", 0, "worker cap for the parallel sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	env := bench.Env{Scale: *scale, Seed: *seed}
+	env := bench.Env{Scale: *scale, Seed: *seed, Parallelism: *par}
 	fmt.Printf("mmdb-bench: scale=%.3g seed=%d (%d experiments)\n\n", *scale, *seed, len(selected))
 	for _, e := range selected {
 		series, stats := bench.Measure(e, env)

@@ -22,6 +22,7 @@ var All = []Experiment{
 	{ID: "ablation-ttree-gap", Exhibit: "Ablation — T Tree occupancy gap", Run: AblationTTreeGap},
 	{ID: "ablation-build", Exhibit: "Ablation — join index build costs", Run: AblationJoinBuild},
 	{ID: "ablation-ptrjoin", Exhibit: "Ablation — pointer vs value foreign keys", Run: AblationPointerJoin},
+	{ID: "parallel", Exhibit: "Extension — partition-parallel operator sweep", Run: ParallelJoinSweep},
 }
 
 // ByID resolves an experiment.

@@ -19,9 +19,21 @@ type JoinSpec struct {
 	Meter                  *meter.Counters
 	// Discard counts result rows without materializing them — for
 	// benchmark sweeps whose cross-product outputs would not fit in
-	// memory. RowsOut, when non-nil, receives the emitted row count.
+	// memory. RowsOut, when non-nil, receives the emitted row count — on
+	// every completion path, including joins cut short by Limit.
 	Discard bool
 	RowsOut *int
+	// Limit stops the join after emitting this many rows (0 = unlimited):
+	// the early-exit path a LIMIT query takes. Every join method honors it
+	// by unwinding its scans, and RowsOut still reports the rows actually
+	// emitted.
+	Limit int
+	// Parallelism is the requested worker count for operators that have a
+	// partition-parallel implementation (see internal/parallel). The
+	// serial operator functions in this package ignore it — 1 preserves
+	// the paper's exact serial algorithms — and the executor dispatches to
+	// the parallel layer when it is greater than one.
+	Parallelism int
 }
 
 // emitter materializes (or merely counts) join result rows.
@@ -35,13 +47,25 @@ func (s JoinSpec) newEmitter() *emitter {
 	return &emitter{spec: s, list: s.newList()}
 }
 
-func (e *emitter) emit(o, i *storage.Tuple) {
+// emit records one result row and reports whether the join should keep
+// going — false once the Limit is reached. Join loops must propagate a
+// false return by unwinding their scans.
+func (e *emitter) emit(o, i *storage.Tuple) bool {
 	e.n++
 	if !e.spec.Discard {
 		e.list.Append(storage.Row{o, i})
 	}
+	return e.more()
 }
 
+// more reports whether the emitter still accepts rows.
+func (e *emitter) more() bool {
+	return e.spec.Limit <= 0 || e.n < e.spec.Limit
+}
+
+// done finalizes the result. It is the single exit point of every join
+// method — early-exit paths (Limit, a Scan cut short) flow through it too,
+// so RowsOut always reflects the rows actually emitted.
 func (e *emitter) done() *storage.TempList {
 	if e.spec.RowsOut != nil {
 		*e.spec.RowsOut = e.n
@@ -71,11 +95,11 @@ func NestedLoopsJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
 		inner.Scan(func(i *storage.Tuple) bool {
 			spec.Meter.AddCompare(1)
 			if storage.Equal(ko, tupleindex.KeyOf(i, spec.InnerField)) {
-				out.emit(o, i)
+				return out.emit(o, i)
 			}
 			return true
 		})
-		return true
+		return out.more()
 	})
 	return out.done()
 }
@@ -89,9 +113,15 @@ func HashJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
 	ht := tupleindex.NewChainHash(tupleindex.Options{
 		Field:    spec.InnerField,
 		NodeSize: ns,
-		// One slot per inner tuple: the paper's fixed lookup cost k stays
-		// "much smaller than log2(|R2|) but larger than 2" (§3.3.4).
-		Capacity: maxInt(inner.Len(), 1) * ns,
+		// Capacity is a hint in ENTRIES, not slots: chainhash sizes its
+		// directory at Capacity/NodeSize slots so a table loaded to its
+		// hint averages one full chain node per slot. Sized for exactly
+		// the inner cardinality, the average chain length is ≈ 1 node and
+		// the lookup cost is the paper's fixed k — "much smaller than
+		// log2(|R2|) but larger than 2" (§3.3.4). (A previous revision
+		// passed inner.Len()*NodeSize here, silently allocating NodeSize×
+		// the intended directory and pushing k below the paper's model.)
+		Capacity: maxInt(inner.Len(), 1),
 		Meter:    spec.Meter,
 	})
 	inner.Scan(func(t *storage.Tuple) bool {
@@ -119,10 +149,9 @@ func probeHash(outer Source, inner tupleindex.Hashed, spec JoinSpec) *storage.Te
 				return storage.Equal(tupleindex.KeyOf(i, spec.InnerField), ko)
 			},
 			func(i *storage.Tuple) bool {
-				out.emit(o, i)
-				return true
+				return out.emit(o, i)
 			})
-		return true
+		return out.more()
 	})
 	return out.done()
 }
@@ -137,10 +166,9 @@ func TreeJoin(outer Source, inner tupleindex.Ordered, spec JoinSpec) *storage.Te
 	outer.Scan(func(o *storage.Tuple) bool {
 		ko := tupleindex.KeyOf(o, spec.OuterField)
 		inner.SearchAll(tupleindex.PosFor(ko, spec.InnerField), func(i *storage.Tuple) bool {
-			out.emit(o, i)
-			return true
+			return out.emit(o, i)
 		})
-		return true
+		return out.more()
 	})
 	return out.done()
 }
@@ -183,7 +211,7 @@ func PrecomputedJoin(outer Source, refField int, spec JoinSpec) *storage.TempLis
 	outer.Scan(func(o *storage.Tuple) bool {
 		v := o.Field(refField)
 		if !v.IsNull() {
-			out.emit(o, v.Ref())
+			return out.emit(o, v.Ref())
 		}
 		return true
 	})
@@ -222,7 +250,7 @@ func (c *treeCursor) clone() joinCursor     { cp := *c; return &cp }
 // its group.
 func mergeJoin(a, b joinCursor, spec JoinSpec, out *emitter) {
 	fo, fi := spec.OuterField, spec.InnerField
-	for a.valid() && b.valid() {
+	for a.valid() && b.valid() && out.more() {
 		spec.Meter.AddCompare(1)
 		v := tupleindex.KeyOf(b.tuple(), fi)
 		switch c := storage.Compare(tupleindex.KeyOf(a.tuple(), fo), v); {
@@ -238,7 +266,9 @@ func mergeJoin(a, b joinCursor, spec JoinSpec, out *emitter) {
 				bb := b.clone()
 				for bb.valid() && storage.Compare(tupleindex.KeyOf(bb.tuple(), fi), v) == 0 {
 					spec.Meter.AddCompare(1)
-					out.emit(o, bb.tuple())
+					if !out.emit(o, bb.tuple()) {
+						return
+					}
 					bb.next()
 				}
 				a.next()
@@ -294,8 +324,7 @@ func NonEquiTreeJoin(outer Source, inner tupleindex.Ordered, op NonEquiOp, spec 
 		ko := tupleindex.KeyOf(o, spec.OuterField)
 		pos := tupleindex.PosFor(ko, spec.InnerField)
 		emit := func(i *storage.Tuple) bool {
-			out.emit(o, i)
-			return true
+			return out.emit(o, i)
 		}
 		// The inner entries matching "ko OP inner" form one contiguous key
 		// range of the index.
@@ -319,7 +348,7 @@ func NonEquiTreeJoin(outer Source, inner tupleindex.Ordered, op NonEquiOp, spec 
 		default: // JoinGe: inner <= ko
 			inner.Range(all, pos, emit)
 		}
-		return true
+		return out.more()
 	})
 	return out.done()
 }
@@ -344,11 +373,11 @@ func NonEquiNestedLoopsJoin(outer, inner Source, op NonEquiOp, spec JoinSpec) *s
 				match = c >= 0
 			}
 			if match {
-				out.emit(o, i)
+				return out.emit(o, i)
 			}
 			return true
 		})
-		return true
+		return out.more()
 	})
 	return out.done()
 }

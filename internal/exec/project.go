@@ -17,7 +17,11 @@ func projectKey(list *storage.TempList, i int) []storage.Value {
 	return list.RowValues(i)
 }
 
-func keysEqual(a, b []storage.Value, m *meter.Counters) bool {
+// KeysEqual compares two projected-value vectors for equality, metering
+// one comparison per column examined. Exported for the parallel
+// duplicate-elimination path, which must agree exactly with the serial
+// one on key identity.
+func KeysEqual(a, b []storage.Value, m *meter.Counters) bool {
 	for i := range a {
 		m.AddCompare(1)
 		if !storage.Equal(a[i], b[i]) {
@@ -37,7 +41,10 @@ func keysCompare(a, b []storage.Value, m *meter.Counters) int {
 	return 0
 }
 
-func keyHash(a []storage.Value, m *meter.Counters) uint64 {
+// KeyHash hashes a projected-value vector (FNV-style fold of the
+// per-value hashes), metering one hash call. Exported alongside KeysEqual
+// so partitioned hashing hashes keys identically to the serial path.
+func KeyHash(a []storage.Value, m *meter.Counters) uint64 {
 	m.AddHash(1)
 	h := uint64(14695981039346656037)
 	for _, v := range a {
@@ -63,10 +70,10 @@ func ProjectHash(list *storage.TempList, m *meter.Counters) *storage.TempList {
 	slots := make([]*entry, nslots)
 	for i := 0; i < list.Len(); i++ {
 		key := projectKey(list, i)
-		s := keyHash(key, m) % uint64(nslots)
+		s := KeyHash(key, m) % uint64(nslots)
 		dup := false
 		for e := slots[s]; e != nil; e = e.next {
-			if keysEqual(e.key, key, m) {
+			if KeysEqual(e.key, key, m) {
 				dup = true
 				break
 			}
@@ -97,7 +104,7 @@ func ProjectSortScan(list *storage.TempList, m *meter.Counters) *storage.TempLis
 	}
 	sortutil.SortCutoff(rows, func(a, b keyed) int { return keysCompare(a.key, b.key, m) }, sortutil.DefaultCutoff, m)
 	for i := range rows {
-		if i > 0 && keysEqual(rows[i-1].key, rows[i].key, m) {
+		if i > 0 && KeysEqual(rows[i-1].key, rows[i].key, m) {
 			continue
 		}
 		out.Append(rows[i].row)

@@ -65,6 +65,13 @@ func Tuples(s Source) []*storage.Tuple {
 	return out
 }
 
+// SingleDescriptor builds the descriptor for a one-source result over the
+// named relation, exposing every column of its schema — the descriptor
+// every selection operator (serial or parallel) emits.
+func SingleDescriptor(relName string, schema *storage.Schema) storage.Descriptor {
+	return singleDesc(relName, schema)
+}
+
 // singleDesc builds the descriptor for a one-source result over the named
 // relation, exposing the given columns of its schema.
 func singleDesc(relName string, schema *storage.Schema) storage.Descriptor {

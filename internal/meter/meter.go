@@ -16,7 +16,12 @@
 // must either receive a private Counters per execution (the query layer
 // does this) or roll results into a SharedCounters, the atomic sibling
 // with the same Add* API, which the obs registry uses as its engine-wide
-// §3.1 accumulator.
+// §3.1 accumulator. The partition-parallel executor follows the same
+// rule per worker: every worker accumulates into a private Counters,
+// folds it into one SharedCounters when it finishes, and the operator
+// adds the folded snapshot to the caller's Counters after all workers
+// join — so a parallel operator reports its total §3.1 work exactly the
+// way a serial one does.
 package meter
 
 import "fmt"

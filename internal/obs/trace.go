@@ -20,6 +20,7 @@ type TraceNode struct {
 	AccessPath string        // the planner's choice: access path or join method
 	RowsIn     int           // tuples entering the operator
 	RowsOut    int           // rows the operator emitted
+	Workers    int           // parallel workers used (0 or 1 = serial)
 	Wall       time.Duration // operator wall time
 	Ops        meter.Counters
 	Children   []*TraceNode
@@ -108,6 +109,9 @@ func (n *TraceNode) Line() string {
 		fmt.Fprintf(&b, ": %s", n.AccessPath)
 	}
 	fmt.Fprintf(&b, "  rows in=%d out=%d  wall=%s", n.RowsIn, n.RowsOut, fmtDur(n.Wall))
+	if n.Workers > 1 {
+		fmt.Fprintf(&b, "  workers=%d", n.Workers)
+	}
 	if n.Ops != (meter.Counters{}) {
 		fmt.Fprintf(&b, "  [%s]", compactOps(n.Ops))
 	}

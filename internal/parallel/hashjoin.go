@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"repro/internal/exec"
+	"repro/internal/index/chainhash"
+	"repro/internal/meter"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// HashJoin is the partitioned-build parallel hash join (after Jahangiri &
+// Carey's partitioned design point): the inner (build) side is
+// hash-partitioned on the join key across the workers, each worker builds
+// a private chained-bucket table for exactly one partition — no shared
+// mutable buckets anywhere — and the probe phase routes each outer tuple
+// to the single immutable table its hash selects. Per-morsel result lists
+// are concatenated in morsel order, so the output row order equals the
+// serial hash join's outer-scan order (the order of matches within one
+// probe may differ when the build side has duplicates).
+//
+// workers <= 1, a Limit (inherently sequential early exit), or an input
+// too small to chunk all delegate to the serial exec.HashJoin.
+func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storage.TempList {
+	w := Degree(workers)
+	if w <= 1 || spec.Limit > 0 {
+		return exec.HashJoin(outer, inner, spec)
+	}
+	innerC, outerC := AsChunked(inner), AsChunked(outer)
+	if innerC.Len() == 0 || outerC.Len() == 0 {
+		return exec.HashJoin(outerC, innerC, spec)
+	}
+
+	ns := spec.NodeSize
+	if ns <= 0 {
+		ns = chainhash.DefaultNodeSize
+	}
+	nparts := w
+	fi, fo := spec.InnerField, spec.OuterField
+
+	// Phase 1 — partition the build side: each worker hashes its chunk's
+	// join keys and scatters tuple pointers into private per-partition
+	// buckets. buckets[chunk][part] is written by exactly one worker.
+	innerChunks := innerC.Chunks(w)
+	buckets := make([][][]*storage.Tuple, len(innerChunks))
+	spec.Meter.Add(run(w, len(innerChunks), func(m int, ctr *meter.Counters) {
+		local := make([][]*storage.Tuple, nparts)
+		innerChunks[m].Scan(func(t *storage.Tuple) bool {
+			ctr.AddHash(1)
+			h := storage.Hash(tupleindex.KeyOf(t, fi))
+			p := partOf(h, nparts)
+			local[p] = append(local[p], t)
+			return true
+		})
+		buckets[m] = local
+	}))
+
+	// Phase 2 — build: worker p owns partition p outright and builds its
+	// chained-bucket table, sized for exactly the partition's cardinality
+	// (the §3.3.4 fixed-k sizing, same as the serial join). The meter is
+	// detached afterwards: the tables are shared read-only during probing
+	// and a live private counter would be a data race.
+	tables := make([]*chainhash.Table[*storage.Tuple], nparts)
+	spec.Meter.Add(run(w, nparts, func(p int, ctr *meter.Counters) {
+		count := 0
+		for m := range buckets {
+			count += len(buckets[m][p])
+		}
+		tbl := tupleindex.NewChainHash(tupleindex.Options{
+			Field:    fi,
+			NodeSize: ns,
+			Capacity: maxInt(count, 1),
+			Meter:    ctr,
+		})
+		for m := range buckets {
+			for _, t := range buckets[m][p] {
+				tbl.Insert(t)
+			}
+		}
+		tbl.SetMeter(nil)
+		tables[p] = tbl
+	}))
+
+	// Phase 3 — probe: morsel-driven over the outer; every worker probes
+	// the immutable partition tables and emits into a private list.
+	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
+	outerChunks := outerC.Chunks(w * morselsPerWorker)
+	results := make([]*storage.TempList, len(outerChunks))
+	counts := make([]int, len(outerChunks))
+	spec.Meter.Add(run(w, len(outerChunks), func(m int, ctr *meter.Counters) {
+		local := storage.MustTempList(desc)
+		n := 0
+		outerChunks[m].Scan(func(o *storage.Tuple) bool {
+			ko := tupleindex.KeyOf(o, fo)
+			ctr.AddHash(1)
+			h := storage.Hash(ko)
+			tables[partOf(h, nparts)].SearchKeyAll(h,
+				func(i *storage.Tuple) bool {
+					ctr.AddCompare(1)
+					return storage.Equal(tupleindex.KeyOf(i, fi), ko)
+				},
+				func(i *storage.Tuple) bool {
+					n++
+					if !spec.Discard {
+						local.Append(storage.Row{o, i})
+					}
+					return true
+				})
+			return true
+		})
+		results[m] = local
+		counts[m] = n
+	}))
+
+	if spec.RowsOut != nil {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		*spec.RowsOut = total
+	}
+	return mergeLists(desc, results)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// splitterSampleFactor bounds the sample the range splitters are drawn
+// from: a few dozen evenly spaced keys per worker are enough to balance
+// ranges on the distributions the paper studies.
+const splitterSampleFactor = 32
+
+// SortMergeJoin is the MPSM-style parallel sort-merge join (after
+// Albutiu, Kemper & Neumann): both sides are range-partitioned on
+// splitters sampled from the inner's key distribution, then each worker
+// sorts its own outer and inner runs locally and merge-joins them — the
+// sorts are private, so there is no global sort or merge barrier across
+// workers. Equal keys always land in the same range (partitioning is by
+// strict key intervals), so the result is exactly the serial join's row
+// set, emitted in ascending key-range order like the serial sort-merge.
+//
+// workers <= 1, a Limit (inherently sequential early exit), or an empty
+// side all delegate to the serial exec.SortMergeJoin.
+func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storage.TempList {
+	w := Degree(workers)
+	if w <= 1 || spec.Limit > 0 {
+		return exec.SortMergeJoin(outer, inner, spec)
+	}
+	to := exec.Tuples(outer)
+	ti := exec.Tuples(inner)
+	if len(to) == 0 || len(ti) == 0 {
+		return exec.SortMergeJoin(SliceSource(to), SliceSource(ti), spec)
+	}
+
+	fo, fi := spec.OuterField, spec.InnerField
+	splitters := sampleSplitters(ti, fi, w, spec.Meter)
+	nparts := len(splitters) + 1
+
+	// Phase 1 — range-partition both sides in parallel. Each morsel
+	// classifies its tuples into private per-range buckets; worker r later
+	// concatenates the buckets of range r in morsel order.
+	outerBuckets := classifyRanges(to, fo, splitters, w, spec.Meter)
+	innerBuckets := classifyRanges(ti, fi, splitters, w, spec.Meter)
+
+	// Phase 2 — per-range local sort + merge. Worker r owns key range r:
+	// it gathers the range's tuples, sorts both runs locally (the same
+	// append + quicksort build the serial join uses), and merges. No
+	// cross-worker coordination: ranges are disjoint and cover the key
+	// space.
+	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
+	results := make([]*storage.TempList, nparts)
+	counts := make([]int, nparts)
+	spec.Meter.Add(run(w, nparts, func(r int, ctr *meter.Counters) {
+		outerRun := gatherRange(outerBuckets, r)
+		innerRun := gatherRange(innerBuckets, r)
+		if len(outerRun) == 0 || len(innerRun) == 0 {
+			results[r] = storage.MustTempList(desc)
+			return
+		}
+		ao := tupleindex.BuildArray(tupleindex.Options{Field: fo, Meter: ctr}, outerRun)
+		ai := tupleindex.BuildArray(tupleindex.Options{Field: fi, Meter: ctr}, innerRun)
+		sub := spec
+		sub.Meter = ctr
+		sub.RowsOut = &counts[r]
+		sub.Parallelism = 1
+		results[r] = exec.MergeJoinArrays(ao, ai, sub)
+	}))
+
+	if spec.RowsOut != nil {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		*spec.RowsOut = total
+	}
+	return mergeLists(desc, results)
+}
+
+// sampleSplitters draws up to w-1 range splitters from evenly spaced keys
+// of the tuples, so each of the w ranges holds roughly the same share of
+// the key distribution. Duplicate sample keys may yield fewer (even zero)
+// splitters — empty ranges are harmless.
+func sampleSplitters(tuples []*storage.Tuple, field, w int, m *meter.Counters) []storage.Value {
+	samples := w * splitterSampleFactor
+	if samples > len(tuples) {
+		samples = len(tuples)
+	}
+	keys := make([]storage.Value, 0, samples)
+	for s := 0; s < samples; s++ {
+		keys = append(keys, tupleindex.KeyOf(tuples[len(tuples)*s/samples], field))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		m.AddCompare(1)
+		return storage.Compare(keys[i], keys[j]) < 0
+	})
+	splitters := make([]storage.Value, 0, w-1)
+	for r := 1; r < w; r++ {
+		k := keys[len(keys)*r/w]
+		// Strictly increasing splitters only: equal keys must share a range.
+		if len(splitters) == 0 || storage.Compare(splitters[len(splitters)-1], k) < 0 {
+			splitters = append(splitters, k)
+		}
+	}
+	return splitters
+}
+
+// classifyRanges scatters tuples into per-morsel, per-range buckets:
+// range r holds the keys in [splitter[r-1], splitter[r]). The returned
+// buckets[morsel][range] slices are each written by exactly one worker.
+func classifyRanges(tuples []*storage.Tuple, field int, splitters []storage.Value, w int, m *meter.Counters) [][][]*storage.Tuple {
+	nparts := len(splitters) + 1
+	chunks := SliceSource(tuples).Chunks(w * morselsPerWorker)
+	buckets := make([][][]*storage.Tuple, len(chunks))
+	m.Add(run(w, len(chunks), func(c int, ctr *meter.Counters) {
+		local := make([][]*storage.Tuple, nparts)
+		chunks[c].Scan(func(t *storage.Tuple) bool {
+			k := tupleindex.KeyOf(t, field)
+			r := sort.Search(len(splitters), func(i int) bool {
+				ctr.AddCompare(1)
+				return storage.Compare(splitters[i], k) > 0
+			})
+			local[r] = append(local[r], t)
+			return true
+		})
+		buckets[c] = local
+	}))
+	return buckets
+}
+
+// gatherRange concatenates one key range's buckets in morsel order.
+func gatherRange(buckets [][][]*storage.Tuple, r int) []*storage.Tuple {
+	n := 0
+	for c := range buckets {
+		n += len(buckets[c][r])
+	}
+	out := make([]*storage.Tuple, 0, n)
+	for c := range buckets {
+		out = append(out, buckets[c][r]...)
+	}
+	return out
+}

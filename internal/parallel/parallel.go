@@ -1,0 +1,257 @@
+// Package parallel is the partition-parallel execution layer over the
+// serial operators of internal/exec. The paper's cost model (§3.1) counts
+// comparisons and data movement because disk I/O is gone; on modern
+// hardware the next bottleneck is a single core, so every operator here
+// splits its input into independent partitions, runs the serial algorithm
+// per partition on its own worker, and merges per-worker results — no
+// shared mutable state, no locks on the hot path.
+//
+// The designs follow the multi-core literature the roadmap points at:
+//
+//   - Scans are morsel-driven: workers pull fixed-size chunks (relation
+//     partitions or temp-list row ranges) from a shared atomic cursor, so
+//     skew in one morsel never idles the other workers.
+//   - The hash join uses a partitioned build (Jahangiri & Carey's robust
+//     dynamic hybrid hash design point): the build side is hash-partitioned
+//     on the join key, each worker builds a private chained-bucket table
+//     for its partition, and probes route each outer tuple to exactly one
+//     immutable table — no shared mutable buckets.
+//   - The sort-merge join is MPSM-style (Albutiu, Kemper & Neumann): both
+//     sides are range-partitioned on sampled splitters, then each worker
+//     sorts and merge-joins its key range locally — there is no global
+//     sort or merge barrier across workers.
+//   - Duplicate-eliminating projection hash-partitions rows on their
+//     projected key, dedups each partition privately, and restores the
+//     serial first-occurrence order by a final index merge.
+//
+// Every operator takes an explicit worker count; a count of 1 delegates
+// to the serial exec implementation, byte-for-byte preserving the paper's
+// algorithms (and their §3.1 counters) for the reproduction experiments.
+// Per-worker §3.1 counters are accumulated privately and folded through a
+// meter.SharedCounters into the caller's meter, so parallel runs report
+// total work the same way serial runs do.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// Degree resolves a requested parallelism: n <= 0 means "use every
+// core" (GOMAXPROCS); anything else is taken as given.
+func Degree(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// morselsPerWorker oversubscribes morsels so a slow morsel (skewed
+// partition, cache-cold region) does not stall the whole scan: workers
+// that finish early pull the remaining morsels.
+const morselsPerWorker = 4
+
+// run executes n independent morsels on w workers pulled from a shared
+// atomic cursor. Each worker owns a private meter.Counters for its §3.1
+// operation counts; when all workers finish, the counters are folded
+// through a SharedCounters and the total is returned. fn must not touch
+// state shared between morsels.
+func run(w, n int, fn func(morsel int, m *meter.Counters)) meter.Counters {
+	if n == 0 {
+		return meter.Counters{}
+	}
+	if w > n {
+		w = n
+	}
+	var shared meter.SharedCounters
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			var local meter.Counters
+			for {
+				m := int(cursor.Add(1)) - 1
+				if m >= n {
+					break
+				}
+				fn(m, &local)
+			}
+			shared.Add(local)
+		}()
+	}
+	wg.Wait()
+	return shared.Snapshot()
+}
+
+// Chunked is a tuple source divisible into independently scannable
+// chunks. Chunks(n) returns up to n sources that together cover the
+// original exactly once, in source order.
+type Chunked interface {
+	exec.Source
+	Chunks(n int) []exec.Source
+}
+
+// RelationSource adapts a relation into a Chunked source at partition
+// granularity (§2.1's unit of recovery and locking doubles as the
+// morsel). The caller must hold at least a shared lock on the relation.
+type RelationSource struct{ Rel *storage.Relation }
+
+// Len returns the live tuple count.
+func (s RelationSource) Len() int { return s.Rel.Cardinality() }
+
+// Scan visits every live tuple in partition order.
+func (s RelationSource) Scan(fn func(*storage.Tuple) bool) { s.Rel.ScanPhysical(fn) }
+
+// Chunks groups the relation's partitions into at most n contiguous runs
+// of near-equal partition count.
+func (s RelationSource) Chunks(n int) []exec.Source {
+	parts := s.Rel.Partitions()
+	if len(parts) == 0 {
+		return nil
+	}
+	if n > len(parts) {
+		n = len(parts)
+	}
+	out := make([]exec.Source, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := len(parts)*i/n, len(parts)*(i+1)/n
+		out = append(out, partitionRun(parts[lo:hi]))
+	}
+	return out
+}
+
+// partitionRun is a contiguous run of relation partitions as a Source.
+type partitionRun []*storage.Partition
+
+// Len returns the live tuple count of the run.
+func (r partitionRun) Len() int {
+	n := 0
+	for _, p := range r {
+		n += p.Live()
+	}
+	return n
+}
+
+// Scan visits the run's live tuples in partition order.
+func (r partitionRun) Scan(fn func(*storage.Tuple) bool) {
+	for _, p := range r {
+		if !p.Scan(fn) {
+			return
+		}
+	}
+}
+
+// ListSource adapts one column of a temp list into a Chunked source —
+// the pipeline where a selection result feeds a parallel join.
+type ListSource struct {
+	List   *storage.TempList
+	Column int
+}
+
+// Len returns the row count.
+func (s ListSource) Len() int { return s.List.Len() }
+
+// Scan visits the column's tuples in row order.
+func (s ListSource) Scan(fn func(*storage.Tuple) bool) {
+	exec.ListColumn{List: s.List, Column: s.Column}.Scan(fn)
+}
+
+// Chunks splits the rows into at most n near-equal contiguous ranges.
+func (s ListSource) Chunks(n int) []exec.Source {
+	total := s.List.Len()
+	if total == 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]exec.Source, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := total*i/n, total*(i+1)/n
+		out = append(out, listRange{list: s.List, col: s.Column, lo: lo, hi: hi})
+	}
+	return out
+}
+
+// listRange is rows [lo, hi) of one temp-list column.
+type listRange struct {
+	list   *storage.TempList
+	col    int
+	lo, hi int
+}
+
+func (r listRange) Len() int { return r.hi - r.lo }
+
+func (r listRange) Scan(fn func(*storage.Tuple) bool) {
+	for i := r.lo; i < r.hi; i++ {
+		if !fn(r.list.Row(i)[r.col]) {
+			return
+		}
+	}
+}
+
+// SliceSource is a materialized tuple slice as a Chunked source — the
+// fallback for sources with no native partition structure.
+type SliceSource []*storage.Tuple
+
+// Len returns the slice length.
+func (s SliceSource) Len() int { return len(s) }
+
+// Scan visits the tuples in slice order.
+func (s SliceSource) Scan(fn func(*storage.Tuple) bool) {
+	for _, t := range s {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Chunks splits the slice into at most n near-equal contiguous ranges.
+func (s SliceSource) Chunks(n int) []exec.Source {
+	if len(s) == 0 {
+		return nil
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make([]exec.Source, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := len(s)*i/n, len(s)*(i+1)/n
+		out = append(out, s[lo:hi])
+	}
+	return out
+}
+
+// AsChunked returns src itself when it is already Chunked, and otherwise
+// materializes it into a SliceSource (one extra pass — the same pass the
+// serial hash and sort-merge joins already pay to build their structures).
+func AsChunked(src exec.Source) Chunked {
+	if c, ok := src.(Chunked); ok {
+		return c
+	}
+	return SliceSource(exec.Tuples(src))
+}
+
+// mergeLists combines per-morsel partial lists in morsel order; it
+// panics only on programmer error (mismatched descriptors).
+func mergeLists(desc storage.Descriptor, parts []*storage.TempList) *storage.TempList {
+	out, err := storage.MergeLists(desc, parts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// partOf routes a 64-bit key hash to one of n partitions. It uses the
+// upper half of the hash so it stays decorrelated from the chained-bucket
+// tables' slot choice (h mod nslots), which leans on the lower bits.
+func partOf(h uint64, n int) int {
+	return int((h >> 32) % uint64(n))
+}

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// keyedRow is one temp-list row routed to a hash partition: its original
+// row index (for restoring first-occurrence order), its projected key,
+// and the key's hash.
+type keyedRow struct {
+	idx  int
+	hash uint64
+	key  []storage.Value
+}
+
+// ProjectHash is the partitioned parallel counterpart of
+// exec.ProjectHash (§3.4 Hashing): rows are hash-partitioned on their
+// projected key, each partition is duplicate-eliminated privately with
+// the same |partition|/2-slot chained table the serial operator uses, and
+// the surviving first occurrences are merged back into ascending row
+// order — so the output is bit-identical to the serial operator's
+// (first occurrence of each distinct key, in input order).
+//
+// workers <= 1 or a list too small to chunk delegates to the serial
+// operator.
+func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storage.TempList {
+	w := Degree(workers)
+	if w <= 1 || list.Len() < 2 {
+		return exec.ProjectHash(list, m)
+	}
+	n := list.Len()
+	nparts := w
+
+	// Phase 1 — key extraction + partitioning. Workers own static
+	// contiguous row ranges in worker order, so each bucket's rows stay in
+	// ascending row-index order and concatenating buckets in worker order
+	// preserves it.
+	buckets := make([][][]keyedRow, w)
+	m.Add(run(w, w, func(widx int, ctr *meter.Counters) {
+		lo, hi := n*widx/w, n*(widx+1)/w
+		local := make([][]keyedRow, nparts)
+		for i := lo; i < hi; i++ {
+			key := list.RowValues(i)
+			h := exec.KeyHash(key, ctr)
+			p := partOf(h, nparts)
+			local[p] = append(local[p], keyedRow{idx: i, hash: h, key: key})
+		}
+		buckets[widx] = local
+	}))
+
+	// Phase 2 — per-partition duplicate elimination. Worker p owns
+	// partition p: a private chained table sized at half the partition's
+	// rows (the serial §3.4 sizing), first occurrence wins. Rows arrive in
+	// ascending index order, so "first" matches the serial scan.
+	survivors := make([][]int, nparts)
+	m.Add(run(w, nparts, func(p int, ctr *meter.Counters) {
+		count := 0
+		for widx := range buckets {
+			count += len(buckets[widx][p])
+		}
+		if count == 0 {
+			return
+		}
+		nslots := count / 2
+		if nslots < 1 {
+			nslots = 1
+		}
+		type entry struct {
+			key  []storage.Value
+			next *entry
+		}
+		slots := make([]*entry, nslots)
+		keep := make([]int, 0, count)
+		for widx := range buckets {
+			for _, r := range buckets[widx][p] {
+				s := r.hash % uint64(nslots)
+				dup := false
+				for e := slots[s]; e != nil; e = e.next {
+					if exec.KeysEqual(e.key, r.key, ctr) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				slots[s] = &entry{key: r.key, next: slots[s]}
+				keep = append(keep, r.idx)
+			}
+		}
+		survivors[p] = keep
+	}))
+
+	// Phase 3 — restore input order: merge the per-partition survivor
+	// indices (each already ascending) and emit the surviving rows.
+	total := 0
+	for _, s := range survivors {
+		total += len(s)
+	}
+	order := make([]int, 0, total)
+	for _, s := range survivors {
+		order = append(order, s...)
+	}
+	sort.Ints(order)
+	out := storage.MustTempList(list.Descriptor())
+	for _, i := range order {
+		out.Append(list.Row(i))
+	}
+	return out
+}

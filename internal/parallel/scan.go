@@ -1,0 +1,39 @@
+package parallel
+
+import (
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// SelectScan is the morsel-driven parallel counterpart of
+// exec.SelectScan: workers pull chunks of the source (relation partitions
+// or temp-list row ranges) from a shared cursor, filter them with pred
+// into private temp lists, and the per-morsel lists are concatenated in
+// morsel order — so the output row order is exactly the serial scan's.
+// workers <= 1 delegates to the serial operator.
+func SelectScan(src exec.Source, pred func(*storage.Tuple) bool, spec exec.SelectSpec, workers int) *storage.TempList {
+	w := Degree(workers)
+	if w <= 1 {
+		return exec.SelectScan(src, pred, spec)
+	}
+	desc := exec.SingleDescriptor(spec.RelName, spec.Schema)
+	chunks := AsChunked(src).Chunks(w * morselsPerWorker)
+	if len(chunks) <= 1 {
+		return exec.SelectScan(src, pred, spec)
+	}
+	results := make([]*storage.TempList, len(chunks))
+	total := run(w, len(chunks), func(m int, ctr *meter.Counters) {
+		local := storage.MustTempList(desc)
+		chunks[m].Scan(func(t *storage.Tuple) bool {
+			ctr.AddCompare(1)
+			if pred(t) {
+				local.Append(storage.Row{t})
+			}
+			return true
+		})
+		results[m] = local
+	})
+	spec.Meter.Add(total)
+	return mergeLists(desc, results)
+}

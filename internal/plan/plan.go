@@ -201,3 +201,28 @@ func ChooseJoin(in JoinInput) JoinMethod {
 func Explain(kind string, choice fmt.Stringer, why string) string {
 	return fmt.Sprintf("%s: %s (%s)", kind, choice, why)
 }
+
+// MinRowsPerWorker is the floor under which an operator is not worth
+// splitting: below a few thousand rows per worker, goroutine spawn and
+// result merging cost more than the work they spread out, and the paper's
+// serial algorithms (whose §3.1 counts the experiments reproduce) should
+// run untouched.
+const MinRowsPerWorker = 2048
+
+// ChooseWorkers resolves the degree of parallelism for an operator over
+// the given row count: the requested degree, capped so every worker gets
+// at least MinRowsPerWorker rows. requested <= 1 (or any small input)
+// yields 1 — the exact serial path.
+func ChooseWorkers(requested, rows int) int {
+	if requested <= 1 {
+		return 1
+	}
+	maxW := rows / MinRowsPerWorker
+	if maxW < 1 {
+		return 1
+	}
+	if requested < maxW {
+		return requested
+	}
+	return maxW
+}

@@ -99,6 +99,15 @@ func (p *Partition) remove(t *Tuple) {
 	p.heapUsed -= t.heapBytes()
 }
 
+// Scan visits every live tuple in the partition until fn returns false;
+// it reports whether the scan ran to completion. This is the
+// partition-granularity scan API the parallel executor consumes: each
+// partition is an independently scannable morsel, so workers can divide a
+// relation at partition boundaries without coordinating per tuple.
+// Callers must hold at least a shared lock on the relation (or partition)
+// for the duration of the scan.
+func (p *Partition) Scan(fn func(*Tuple) bool) bool { return p.scan(fn) }
+
 // scan visits every live tuple in the partition (forwarding stubs are
 // skipped: the tuple is visited at its current home).
 func (p *Partition) scan(fn func(*Tuple) bool) bool {

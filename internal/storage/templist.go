@@ -50,9 +50,16 @@ type Row []*Tuple
 // TempList is the MM-DBMS intermediate-result structure (§2.3): a list of
 // tuple-pointer rows plus a result descriptor. Unlike relations, temporary
 // lists may be traversed directly; they can also be indexed.
+//
+// Concurrency contract: a TempList is single-writer. Parallel operators
+// must not share one list across workers — each worker appends to a
+// private list and the lists are combined with MergeLists (or Absorb)
+// after the workers join. Freeze seals a list against further appends,
+// after which Rows is a safe zero-copy view.
 type TempList struct {
-	desc Descriptor
-	rows []Row
+	desc   Descriptor
+	rows   []Row
+	frozen bool
 }
 
 // NewTempList creates an empty temporary list with the given descriptor.
@@ -78,8 +85,12 @@ func (l *TempList) Descriptor() Descriptor { return l.desc }
 // Len returns the number of rows.
 func (l *TempList) Len() int { return len(l.rows) }
 
-// Append adds a row. The row must have one pointer per source.
+// Append adds a row. The row must have one pointer per source. Appending
+// to a frozen list is a programming error and panics.
 func (l *TempList) Append(row Row) {
+	if l.frozen {
+		panic("storage: append to frozen TempList")
+	}
 	if len(row) != len(l.desc.Sources) {
 		panic(fmt.Sprintf("storage: row arity %d does not match %d sources", len(row), len(l.desc.Sources)))
 	}
@@ -89,8 +100,75 @@ func (l *TempList) Append(row Row) {
 // Row returns row i.
 func (l *TempList) Row(i int) Row { return l.rows[i] }
 
-// Rows returns the backing row slice; callers must treat it as read-only.
-func (l *TempList) Rows() []Row { return l.rows }
+// Rows returns a stable view of the rows. For a frozen list this is the
+// backing slice (zero copy); otherwise it is a snapshot, because handing
+// out the live backing slice of a growing list is an aliasing bug — a
+// later Append may reallocate and the caller silently keeps reading the
+// abandoned array (a data race under parallel emit).
+func (l *TempList) Rows() []Row {
+	if l.frozen {
+		return l.rows
+	}
+	return l.Snapshot()
+}
+
+// Snapshot returns a copy of the current rows that later Appends cannot
+// disturb.
+func (l *TempList) Snapshot() []Row {
+	out := make([]Row, len(l.rows))
+	copy(out, l.rows)
+	return out
+}
+
+// Freeze seals the list: further Appends panic, and Rows becomes a safe
+// zero-copy view. Operators freeze their output before handing it to
+// concurrent readers. Freeze is idempotent; it returns the list for
+// chaining.
+func (l *TempList) Freeze() *TempList {
+	l.frozen = true
+	return l
+}
+
+// Frozen reports whether the list has been sealed.
+func (l *TempList) Frozen() bool { return l.frozen }
+
+// Absorb appends every row of other. Both lists must have the same source
+// arity; the descriptor columns are taken from l. The per-worker parallel
+// append path builds one private TempList per worker and absorbs them in
+// worker order, so no mutex ever guards an Append.
+func (l *TempList) Absorb(other *TempList) {
+	if l.frozen {
+		panic("storage: absorb into frozen TempList")
+	}
+	if len(other.desc.Sources) != len(l.desc.Sources) {
+		panic(fmt.Sprintf("storage: absorb arity %d does not match %d sources",
+			len(other.desc.Sources), len(l.desc.Sources)))
+	}
+	l.rows = append(l.rows, other.rows...)
+}
+
+// MergeLists combines per-worker partial results into one list with the
+// given descriptor, in slice order, pre-sizing the row vector once. Nil
+// partials are skipped.
+func MergeLists(desc Descriptor, parts []*TempList) (*TempList, error) {
+	out, err := NewTempList(desc)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, p := range parts {
+		if p != nil {
+			n += len(p.rows)
+		}
+	}
+	out.rows = make([]Row, 0, n)
+	for _, p := range parts {
+		if p != nil {
+			out.Absorb(p)
+		}
+	}
+	return out, nil
+}
 
 // Scan visits rows in order until fn returns false.
 func (l *TempList) Scan(fn func(i int, row Row) bool) {

@@ -1,6 +1,9 @@
 package storage
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // buildFigure1 recreates the Employee/Department instance of Figure 1.
 func buildFigure1(t *testing.T) (emp, dept *Relation, emps, depts map[string]*Tuple) {
@@ -128,4 +131,137 @@ func TestAppendArityPanics(t *testing.T) {
 		}
 	}()
 	l.Append(Row{nil})
+}
+
+// TestRowsSnapshotUnderAppend is the regression for the aliasing bug:
+// Rows() on a growing list must hand out a snapshot, not the live backing
+// slice — a later Append may reallocate and leave the caller reading the
+// abandoned array.
+func TestRowsSnapshotUnderAppend(t *testing.T) {
+	_, _, emps, _ := buildFigure1(t)
+	l := MustTempList(Descriptor{Sources: []string{"emp"}})
+	l.Append(Row{emps["Dave"]})
+	view := l.Rows()
+	for i := 0; i < 64; i++ { // force reallocation
+		l.Append(Row{emps["Suzan"]})
+	}
+	if len(view) != 1 || view[0][0] != emps["Dave"] {
+		t.Fatalf("pre-append view disturbed: %v", view)
+	}
+	if l.Len() != 65 {
+		t.Fatalf("list length %d", l.Len())
+	}
+}
+
+func TestFreezeSealsList(t *testing.T) {
+	_, _, emps, _ := buildFigure1(t)
+	l := MustTempList(Descriptor{Sources: []string{"emp"}})
+	l.Append(Row{emps["Dave"]})
+	if l.Frozen() {
+		t.Fatal("fresh list reports frozen")
+	}
+	if got := l.Freeze().Freeze(); got != l || !l.Frozen() { // idempotent, chains
+		t.Fatal("Freeze not idempotent or did not return the list")
+	}
+	if len(l.Rows()) != 1 {
+		t.Fatal("frozen Rows wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Append to frozen list did not panic")
+			}
+		}()
+		l.Append(Row{emps["Suzan"]})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Absorb into frozen list did not panic")
+			}
+		}()
+		other := MustTempList(Descriptor{Sources: []string{"emp"}})
+		l.Absorb(other)
+	}()
+}
+
+func TestMergeLists(t *testing.T) {
+	_, _, emps, _ := buildFigure1(t)
+	desc := Descriptor{Sources: []string{"emp"}}
+	a := MustTempList(desc)
+	a.Append(Row{emps["Dave"]})
+	a.Append(Row{emps["Suzan"]})
+	b := MustTempList(desc)
+	b.Append(Row{emps["Jane"]})
+	merged, err := MergeLists(desc, []*TempList{a, nil, b, MustTempList(desc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("merged %d rows, want 3", merged.Len())
+	}
+	// Slice order preserved.
+	if merged.Row(0)[0] != emps["Dave"] || merged.Row(2)[0] != emps["Jane"] {
+		t.Fatal("merge order broken")
+	}
+	// Arity mismatch panics via Absorb.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("arity mismatch absorbed silently")
+			}
+		}()
+		wide := MustTempList(Descriptor{Sources: []string{"emp", "dept"}})
+		merged.Absorb(wide)
+	}()
+}
+
+// TestParallelAppendMerge is the -race exercise of the per-worker append
+// contract: each worker appends to a private list, lists are merged after
+// the workers join, and concurrent reads of a frozen list are safe.
+func TestParallelAppendMerge(t *testing.T) {
+	emp, _, emps, _ := buildFigure1(t)
+	_ = emp
+	tp := emps["Dave"]
+	desc := Descriptor{Sources: []string{"emp"}}
+	const workers, perWorker = 8, 500
+	parts := make([]*TempList, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			l := MustTempList(desc)
+			for i := 0; i < perWorker; i++ {
+				l.Append(Row{tp})
+			}
+			parts[w] = l
+		}(w)
+	}
+	wg.Wait()
+	merged, err := MergeLists(desc, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != workers*perWorker {
+		t.Fatalf("merged %d rows, want %d", merged.Len(), workers*perWorker)
+	}
+	// Concurrent readers over the frozen result.
+	merged.Freeze()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			n := 0
+			for _, row := range merged.Rows() {
+				if row[0] == tp {
+					n++
+				}
+			}
+			if n != workers*perWorker {
+				t.Errorf("reader saw %d rows", n)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -69,6 +69,14 @@ type Options struct {
 	// no allocations (see BenchmarkObsOverhead) — the moral equivalent of
 	// the paper compiling its §3.1 counters out for the timed runs.
 	DisableMetrics bool
+	// Parallelism is the default degree of parallelism for query
+	// operators with a partition-parallel implementation (sequential
+	// scans, hash join, sort-merge join, DISTINCT). 0 means GOMAXPROCS; 1
+	// pins every query to the paper's exact serial algorithms. The
+	// planner additionally caps the degree so each worker gets at least
+	// plan.MinRowsPerWorker rows, so small tables always run serial.
+	// Query.Parallel overrides it per query.
+	Parallelism int
 }
 
 // Database is a main-memory database: a set of tables, a partition-level

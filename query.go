@@ -10,6 +10,7 @@ import (
 	"repro/internal/index/ttree"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -44,6 +45,7 @@ type Query struct {
 	join     *qjoin
 	cols     []string
 	distinct bool
+	par      int // requested parallelism; 0 = database default
 	err      error
 	// forceJoin overrides the planner's join choice — a testing hook that
 	// lets trace tests exercise methods the preference ordering would not
@@ -146,6 +148,29 @@ func (q *Query) Select(columns ...string) *Query {
 func (q *Query) Distinct() *Query {
 	q.distinct = true
 	return q
+}
+
+// Parallel sets the degree of parallelism for this query's operators,
+// overriding Options.Parallelism: n <= 0 means GOMAXPROCS, 1 pins the
+// paper's exact serial algorithms, larger values split sequential scans,
+// hash joins, sort-merge joins, and DISTINCT across that many workers.
+// The planner still caps the degree so each worker gets at least
+// plan.MinRowsPerWorker rows; small inputs run serial regardless.
+func (q *Query) Parallel(n int) *Query {
+	if n <= 0 {
+		n = parallel.Degree(0)
+	}
+	q.par = n
+	return q
+}
+
+// parallelism resolves the query's requested degree of parallelism:
+// the per-query override, else the database default, else GOMAXPROCS.
+func (q *Query) parallelism() int {
+	if q.par > 0 {
+		return q.par
+	}
+	return parallel.Degree(q.db.opts.Parallelism)
 }
 
 // Result is a query result: a temporary list of tuple pointers plus the
@@ -273,6 +298,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		root.Add(&obs.TraceNode{
 			Op: "select", Detail: q.from.Name(), AccessPath: sel.pathDesc,
 			RowsIn: sel.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: selMeter,
+			Workers: sel.workers,
 		})
 		t0 = now
 	}
@@ -309,6 +335,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
 				AccessPath: jr.method.String(),
 				RowsIn:     jr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
+				Workers:    jr.workers,
 			})
 			t0 = now
 		}
@@ -338,8 +365,15 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			mp = nil
 		}
 		preDistinct := list.Len()
-		list = exec.ProjectHash(list, mp)
-		planNotes = append(planNotes, "distinct: hash duplicate elimination")
+		distinctWorkers := plan.ChooseWorkers(q.parallelism(), list.Len())
+		if distinctWorkers > 1 {
+			list = parallel.ProjectHash(list, mp, distinctWorkers)
+			planNotes = append(planNotes,
+				fmt.Sprintf("distinct: partitioned hash duplicate elimination (%d workers)", distinctWorkers))
+		} else {
+			list = exec.ProjectHash(list, mp)
+			planNotes = append(planNotes, "distinct: hash duplicate elimination")
+		}
 		if collect {
 			total.Add(dupMeter)
 		}
@@ -348,6 +382,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			root.Add(&obs.TraceNode{
 				Op: "distinct", AccessPath: "hash duplicate elimination",
 				RowsIn: preDistinct, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: dupMeter,
+				Workers: distinctWorkers,
 			})
 		}
 	}
@@ -435,6 +470,7 @@ type selExec struct {
 	pathDesc  string          // human description: "hash lookup on \"dept\" + 1 residual filter(s)"
 	path      plan.AccessPath // the §4 choice
 	rowsIn    int             // base-relation tuples fetched (pre-residual)
+	workers   int             // parallel scan workers (0 or 1 = serial)
 	probeKind string          // index structure probed ("" for scans)
 	probes    int64
 }
@@ -446,6 +482,17 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 	t := q.from
 	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m}
 	if len(q.preds) == 0 {
+		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 {
+			list := parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
+				func(*storage.Tuple) bool { return true }, spec, w)
+			return selExec{
+				list:     list,
+				pathDesc: fmt.Sprintf("parallel partition scan (%d workers)", w),
+				path:     plan.PathSequentialScan,
+				rowsIn:   list.Len(),
+				workers:  w,
+			}
+		}
 		list := storage.MustTempList(storage.Descriptor{Sources: []string{t.Name()}})
 		t.scanSource().Scan(func(tp *storage.Tuple) bool {
 			list.Append(storage.Row{tp})
@@ -462,6 +509,7 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 	p := q.preds[best]
 	var list *storage.TempList
 	probeKind, probes := "", int64(0)
+	scanWorkers := 0
 	switch bestPath {
 	case plan.PathHashLookup:
 		ix := t.indexOn(p.field, false)
@@ -484,7 +532,13 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 		probeKind, probes = ix.kind.String(), 1
 		// Range access is inclusive; strict bounds drop the endpoint below.
 	default:
-		list = exec.SelectScan(t.scanSource(), func(tp *storage.Tuple) bool { return true }, spec)
+		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 {
+			scanWorkers = w
+			list = parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
+				func(*storage.Tuple) bool { return true }, spec, w)
+		} else {
+			list = exec.SelectScan(t.scanSource(), func(tp *storage.Tuple) bool { return true }, spec)
+		}
 	}
 	rowsIn := list.Len()
 	if bestPath == plan.PathSequentialScan {
@@ -505,6 +559,9 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 		return true
 	})
 	pathDesc := fmt.Sprintf("%s on %q", bestPath, p.column)
+	if scanWorkers > 1 {
+		pathDesc = fmt.Sprintf("parallel partition scan (%d workers) on %q", scanWorkers, p.column)
+	}
 	if len(q.preds) > 1 {
 		pathDesc += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
 	}
@@ -513,6 +570,7 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 		pathDesc:  pathDesc,
 		path:      bestPath,
 		rowsIn:    rowsIn,
+		workers:   scanWorkers,
 		probeKind: probeKind,
 		probes:    probes,
 	}
@@ -597,6 +655,7 @@ type joinExec struct {
 	method       plan.JoinMethod
 	rowsIn       int    // outer rows entering the join
 	innerScanned int    // inner tuples examined (estimate per method)
+	workers      int    // parallel join workers (0 or 1 = serial)
 	probeKind    string // inner index structure probed ("" when none)
 	probes       int64
 }
@@ -638,11 +697,27 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 			out.innerScanned = out.list.Len()
 			out.probeKind, out.probes = jp.innerHash.kind.String(), int64(outer.Len())
 		} else {
-			out.list = exec.HashJoin(outer, j.table.scanSource(), spec)
+			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
+				spec.Parallelism = w
+				out.workers = w
+				out.list = parallel.HashJoin(
+					parallel.ListSource{List: left, Column: 0},
+					parallel.RelationSource{Rel: j.table.rel}, spec, w)
+			} else {
+				out.list = exec.HashJoin(outer, j.table.scanSource(), spec)
+			}
 			out.innerScanned = innerCard // build pass scans the inner relation
 		}
 	case plan.JoinSortMerge:
-		out.list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
+			spec.Parallelism = w
+			out.workers = w
+			out.list = parallel.SortMergeJoin(
+				parallel.ListSource{List: left, Column: 0},
+				parallel.RelationSource{Rel: j.table.rel}, spec, w)
+		} else {
+			out.list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+		}
 		out.innerScanned = innerCard // build pass scans the inner relation
 	default:
 		out.list = exec.NestedLoopsJoin(outer, j.table.scanSource(), spec)
