@@ -23,6 +23,7 @@ var All = []Experiment{
 	{ID: "ablation-build", Exhibit: "Ablation — join index build costs", Run: AblationJoinBuild},
 	{ID: "ablation-ptrjoin", Exhibit: "Ablation — pointer vs value foreign keys", Run: AblationPointerJoin},
 	{ID: "parallel", Exhibit: "Extension — partition-parallel operator sweep", Run: ParallelJoinSweep},
+	{ID: "batch", Exhibit: "Extension — tuple-at-a-time vs batch-at-a-time execution", Run: BatchExecution},
 }
 
 // ByID resolves an experiment.

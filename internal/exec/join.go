@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/index"
 	"repro/internal/meter"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -34,6 +35,9 @@ type JoinSpec struct {
 	// the paper's exact serial algorithms — and the executor dispatches to
 	// the parallel layer when it is greater than one.
 	Parallelism int
+	// Hint, when positive, is the expected result cardinality; the output
+	// list is presized so no chunk growth happens while the join emits.
+	Hint int
 }
 
 // emitter materializes (or merely counts) join result rows.
@@ -53,7 +57,7 @@ func (s JoinSpec) newEmitter() *emitter {
 func (e *emitter) emit(o, i *storage.Tuple) bool {
 	e.n++
 	if !e.spec.Discard {
-		e.list.Append(storage.Row{o, i})
+		e.list.AppendPair(o, i) // zero-alloc: no Row header on the hot path
 	}
 	return e.more()
 }
@@ -74,6 +78,9 @@ func (e *emitter) done() *storage.TempList {
 }
 
 func (s JoinSpec) newList() *storage.TempList {
+	if s.Hint > 0 {
+		return storage.MustTempListHint(PairDescriptor(s.OuterName, s.InnerName, s.Cols), s.Hint)
+	}
 	return storage.MustTempList(PairDescriptor(s.OuterName, s.InnerName, s.Cols))
 }
 
@@ -124,10 +131,15 @@ func HashJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
 		Capacity: maxInt(inner.Len(), 1),
 		Meter:    spec.Meter,
 	})
-	inner.Scan(func(t *storage.Tuple) bool {
-		ht.Insert(t)
+	buf := storage.GetBatch()
+	ScanBatches(inner, buf, func(block storage.TupleBatch) bool {
+		spec.Meter.AddBatch(1)
+		for _, t := range block {
+			ht.Insert(t)
+		}
 		return true
 	})
+	storage.PutBatch(buf)
 	return probeHash(outer, ht, spec)
 }
 
@@ -138,21 +150,39 @@ func HashJoinExisting(outer Source, inner tupleindex.Hashed, spec JoinSpec) *sto
 	return probeHash(outer, inner, spec)
 }
 
+// probeHash drains the outer source in blocks and, per outer tuple, pulls
+// the whole bucket match set in one SearchKeyAppend call before emitting —
+// the probe inner loop runs over two cache-resident blocks instead of
+// bouncing through nested callbacks. §3.1 hash and comparison counts are
+// identical to the tuple-at-a-time formulation.
 func probeHash(outer Source, inner tupleindex.Hashed, spec JoinSpec) *storage.TempList {
 	out := spec.newEmitter()
-	outer.Scan(func(o *storage.Tuple) bool {
-		ko := tupleindex.KeyOf(o, spec.OuterField)
-		spec.Meter.AddHash(1)
-		inner.SearchKeyAll(storage.Hash(ko),
-			func(i *storage.Tuple) bool {
-				spec.Meter.AddCompare(1)
-				return storage.Equal(tupleindex.KeyOf(i, spec.InnerField), ko)
-			},
-			func(i *storage.Tuple) bool {
-				return out.emit(o, i)
-			})
-		return out.more()
+	buf := storage.GetBatch()
+	matches := storage.GetBatch()
+	// One match closure for the whole probe, capturing the mutable probe
+	// key — a per-tuple closure literal would heap-allocate on every probe.
+	var ko storage.Value
+	fi := spec.InnerField
+	match := func(i *storage.Tuple) bool {
+		spec.Meter.AddCompare(1)
+		return storage.Equal(tupleindex.KeyOf(i, fi), ko)
+	}
+	ScanBatches(outer, buf, func(block storage.TupleBatch) bool {
+		spec.Meter.AddBatch(1)
+		for _, o := range block {
+			ko = tupleindex.KeyOf(o, spec.OuterField)
+			spec.Meter.AddHash(1)
+			matches = index.SearchKeyAppend[*storage.Tuple](inner, storage.Hash(ko), match, matches[:0])
+			for _, i := range matches {
+				if !out.emit(o, i) {
+					return false
+				}
+			}
+		}
+		return true
 	})
+	storage.PutBatch(matches)
+	storage.PutBatch(buf)
 	return out.done()
 }
 
@@ -163,13 +193,28 @@ func probeHash(outer Source, inner tupleindex.Hashed, spec JoinSpec) *storage.Te
 // for single value retrieval" (§3.3.2) — so no build variant exists.
 func TreeJoin(outer Source, inner tupleindex.Ordered, spec JoinSpec) *storage.TempList {
 	out := spec.newEmitter()
-	outer.Scan(func(o *storage.Tuple) bool {
-		ko := tupleindex.KeyOf(o, spec.OuterField)
-		inner.SearchAll(tupleindex.PosFor(ko, spec.InnerField), func(i *storage.Tuple) bool {
-			return out.emit(o, i)
-		})
-		return out.more()
+	buf := storage.GetBatch()
+	matches := storage.GetBatch()
+	// One position closure for the whole probe (tupleindex.PosFor would
+	// allocate a fresh closure per outer tuple).
+	var ko storage.Value
+	fi := spec.InnerField
+	pos := func(t *storage.Tuple) int { return storage.Compare(tupleindex.KeyOf(t, fi), ko) }
+	ScanBatches(outer, buf, func(block storage.TupleBatch) bool {
+		spec.Meter.AddBatch(1)
+		for _, o := range block {
+			ko = tupleindex.KeyOf(o, spec.OuterField)
+			matches = index.SearchAllAppend[*storage.Tuple](inner, pos, matches[:0])
+			for _, i := range matches {
+				if !out.emit(o, i) {
+					return false
+				}
+			}
+		}
+		return true
 	})
+	storage.PutBatch(matches)
+	storage.PutBatch(buf)
 	return out.done()
 }
 
@@ -208,13 +253,18 @@ func TreeMergeJoin(outer, inner *ttree.Tree[*storage.Tuple], spec JoinSpec) *sto
 // have no match and produce no row.
 func PrecomputedJoin(outer Source, refField int, spec JoinSpec) *storage.TempList {
 	out := spec.newEmitter()
-	outer.Scan(func(o *storage.Tuple) bool {
-		v := o.Field(refField)
-		if !v.IsNull() {
-			return out.emit(o, v.Ref())
+	buf := storage.GetBatch()
+	ScanBatches(outer, buf, func(block storage.TupleBatch) bool {
+		spec.Meter.AddBatch(1)
+		for _, o := range block {
+			v := o.Field(refField)
+			if !v.IsNull() && !out.emit(o, v.Ref()) {
+				return false
+			}
 		}
 		return true
 	})
+	storage.PutBatch(buf)
 	return out.done()
 }
 

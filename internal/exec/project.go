@@ -58,7 +58,10 @@ func KeyHash(a []storage.Value, m *meter.Counters) uint64 {
 // |R|/2 slots (§3.4); duplicates are discarded as they are encountered, so
 // high duplicate percentages make it faster, not slower.
 func ProjectHash(list *storage.TempList, m *meter.Counters) *storage.TempList {
-	out := storage.MustTempList(list.Descriptor())
+	// The survivor count is at most |R|, so presizing the output at the
+	// input cardinality (directory only — chunks are pooled on demand)
+	// means the emit path never grows mid-scan.
+	out := storage.MustTempListHint(list.Descriptor(), list.Len())
 	nslots := list.Len() / 2
 	if nslots < 1 {
 		nslots = 1
@@ -68,22 +71,18 @@ func ProjectHash(list *storage.TempList, m *meter.Counters) *storage.TempList {
 		next *entry
 	}
 	slots := make([]*entry, nslots)
-	for i := 0; i < list.Len(); i++ {
+	list.Scan(func(i int, row storage.Row) bool {
 		key := projectKey(list, i)
 		s := KeyHash(key, m) % uint64(nslots)
-		dup := false
 		for e := slots[s]; e != nil; e = e.next {
 			if KeysEqual(e.key, key, m) {
-				dup = true
-				break
+				return true // duplicate: discard on sight (§3.4)
 			}
 		}
-		if dup {
-			continue
-		}
 		slots[s] = &entry{key: key, next: slots[s]}
-		out.Append(list.Row(i))
-	}
+		out.Append(row)
+		return true
+	})
 	return out
 }
 
@@ -92,16 +91,17 @@ func ProjectHash(list *storage.TempList, m *meter.Counters) *storage.TempList {
 // scanning and dropping adjacent equals. The whole list is sorted before
 // any duplicate is discarded, so duplicates do not speed it up (§3.4).
 func ProjectSortScan(list *storage.TempList, m *meter.Counters) *storage.TempList {
-	out := storage.MustTempList(list.Descriptor())
+	out := storage.MustTempListHint(list.Descriptor(), list.Len())
 	type keyed struct {
 		key []storage.Value
 		row storage.Row
 	}
 	rows := make([]keyed, list.Len())
-	for i := 0; i < list.Len(); i++ {
-		rows[i] = keyed{key: projectKey(list, i), row: list.Row(i)}
+	list.Scan(func(i int, row storage.Row) bool {
+		rows[i] = keyed{key: projectKey(list, i), row: row}
 		m.AddMove(1)
-	}
+		return true
+	})
 	sortutil.SortCutoff(rows, func(a, b keyed) int { return keysCompare(a.key, b.key, m) }, sortutil.DefaultCutoff, m)
 	for i := range rows {
 		if i > 0 && KeysEqual(rows[i-1].key, rows[i].key, m) {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/index"
 	"repro/internal/meter"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -9,50 +10,68 @@ import (
 // The three selection access paths of §4: "a hash lookup (exact match
 // only) is always faster than a tree lookup which is always faster than a
 // sequential scan."
+//
+// All paths emit batch-at-a-time: matching tuples are gathered into
+// TupleBatch blocks and block-copied into the output list, so the per-row
+// cost on the emit path is one pointer store — no Row header allocation,
+// no per-tuple callback into the list.
 
 // SelectSpec names the output of a selection.
 type SelectSpec struct {
 	RelName string
 	Schema  *storage.Schema
 	Meter   *meter.Counters
+	// Hint, when positive, is the expected result cardinality; the output
+	// list is presized so no chunk growth happens during the scan.
+	Hint int
 }
 
 func (s SelectSpec) newList() *storage.TempList {
+	if s.Hint > 0 {
+		return storage.MustTempListHint(singleDesc(s.RelName, s.Schema), s.Hint)
+	}
 	return storage.MustTempList(singleDesc(s.RelName, s.Schema))
 }
 
 // SelectEqHash performs an exact-match selection through a hash index.
+// The bucket's matches come back as one block (SearchKeyAppend) and are
+// block-copied into the output — the §3.1 comparison and hash counts are
+// identical to the tuple-at-a-time formulation.
 func SelectEqHash(ix tupleindex.Hashed, field int, key storage.Value, spec SelectSpec) *storage.TempList {
 	out := spec.newList()
 	h := storage.Hash(key)
 	spec.Meter.AddHash(1)
-	ix.SearchKeyAll(h,
+	buf := index.SearchKeyAppend[*storage.Tuple](ix, h,
 		func(t *storage.Tuple) bool {
 			spec.Meter.AddCompare(1)
 			return storage.Equal(tupleindex.KeyOf(t, field), key)
-		},
-		func(t *storage.Tuple) bool {
-			out.Append(storage.Row{t})
-			return true
-		})
+		}, storage.GetBatch())
+	if len(buf) > 0 {
+		out.AppendBatch(buf)
+		spec.Meter.AddBatch(1)
+	}
+	storage.PutBatch(buf)
 	return out
 }
 
 // SelectEqTree performs an exact-match selection through an ordered index:
-// a search to any matching entry, then a scan in both directions, since
-// equal entries are logically contiguous (§3.3.4).
+// a search to any matching entry, then a scan of the contiguous equal run
+// (§3.3.4), returned as one block and block-copied into the output.
 func SelectEqTree(ix tupleindex.Ordered, field int, key storage.Value, spec SelectSpec) *storage.TempList {
 	out := spec.newList()
-	ix.SearchAll(tupleindex.PosFor(key, field), func(t *storage.Tuple) bool {
-		out.Append(storage.Row{t})
-		return true
-	})
+	buf := index.SearchAllAppend[*storage.Tuple](ix, tupleindex.PosFor(key, field), storage.GetBatch())
+	if len(buf) > 0 {
+		out.AppendBatch(buf)
+		spec.Meter.AddBatch(1)
+	}
+	storage.PutBatch(buf)
 	return out
 }
 
 // SelectRange selects lo <= field <= hi through an ordered index; hash
 // structures cannot serve range queries (§3.2.2: "range queries (hash
-// structures excluded)"). Nil bounds are open.
+// structures excluded)"). Nil bounds are open. Matches are gathered into a
+// pooled block and flushed block-wise.
 func SelectRange(ix tupleindex.Ordered, field int, lo, hi *storage.Value, spec SelectSpec) *storage.TempList {
 	out := spec.newList()
 	loPos := func(*storage.Tuple) int { return 0 } // everything >= -inf
@@ -63,24 +82,47 @@ func SelectRange(ix tupleindex.Ordered, field int, lo, hi *storage.Value, spec S
 	if hi != nil {
 		hiPos = tupleindex.PosFor(*hi, field)
 	}
+	buf := storage.GetBatch()
 	ix.Range(loPos, hiPos, func(t *storage.Tuple) bool {
-		out.Append(storage.Row{t})
+		buf = append(buf, t)
+		if len(buf) == cap(buf) {
+			out.AppendBatch(buf)
+			spec.Meter.AddBatch(1)
+			buf = buf[:0]
+		}
 		return true
 	})
+	if len(buf) > 0 {
+		out.AppendBatch(buf)
+		spec.Meter.AddBatch(1)
+	}
+	storage.PutBatch(buf)
 	return out
 }
 
 // SelectScan selects by predicate with a sequential scan through an index
 // — possibly one on an unrelated attribute, the fallback access path when
-// no index covers the selection column.
+// no index covers the selection column. The source is drained in blocks
+// (zero-copy when it supports ScanBatches natively); each block is
+// filtered into a survivors block that is block-copied into the output.
+// One comparison is metered per tuple, exactly as the per-tuple loop did.
 func SelectScan(src Source, pred func(*storage.Tuple) bool, spec SelectSpec) *storage.TempList {
 	out := spec.newList()
-	src.Scan(func(t *storage.Tuple) bool {
-		spec.Meter.AddCompare(1)
-		if pred(t) {
-			out.Append(storage.Row{t})
+	buf := storage.GetBatch()
+	keep := storage.GetBatch()
+	ScanBatches(src, buf, func(block storage.TupleBatch) bool {
+		spec.Meter.AddCompare(int64(len(block)))
+		spec.Meter.AddBatch(1)
+		keep = keep[:0]
+		for _, t := range block {
+			if pred(t) {
+				keep = append(keep, t)
+			}
 		}
+		out.AppendBatch(keep)
 		return true
 	})
+	storage.PutBatch(keep)
+	storage.PutBatch(buf)
 	return out
 }

@@ -19,6 +19,44 @@ type Source interface {
 	Scan(fn func(*storage.Tuple) bool)
 }
 
+// BatchSource is an optional capability of sources that can hand tuples
+// out in blocks — the batch-at-a-time contract of storage.TupleBatch.
+// fn must not retain the block; implementations may reuse buf between
+// calls or hand out zero-copy views of their own storage.
+type BatchSource interface {
+	ScanBatches(buf storage.TupleBatch, fn func(storage.TupleBatch) bool)
+}
+
+// ScanBatches drains src block-wise: natively when src implements
+// BatchSource, otherwise by gathering the per-tuple scan into buf and
+// flushing each time it fills. All exec operators use this instead of
+// Source.Scan on their hot paths.
+func ScanBatches(src Source, buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	if bs, ok := src.(BatchSource); ok {
+		bs.ScanBatches(buf, fn)
+		return
+	}
+	if cap(buf) == 0 {
+		buf = make([]*storage.Tuple, 0, storage.BatchSize)
+	}
+	buf = buf[:0]
+	stop := false
+	src.Scan(func(t *storage.Tuple) bool {
+		buf = append(buf, t)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stop = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stop && len(buf) > 0 {
+		fn(buf)
+	}
+}
+
 // OrderedScan adapts an ordered tuple index into a Source; iteration is in
 // key order.
 type OrderedScan struct{ Index tupleindex.Ordered }
@@ -29,6 +67,12 @@ func (s OrderedScan) Len() int { return s.Index.Len() }
 // Scan visits tuples in ascending key order.
 func (s OrderedScan) Scan(fn func(*storage.Tuple) bool) { s.Index.ScanAsc(fn) }
 
+// ScanBatches implements BatchSource: blocks come node-wise from the
+// index when it scans in batches natively (T Tree, sorted array).
+func (s OrderedScan) ScanBatches(buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	tupleindex.ScanBatches(s.Index, buf, fn)
+}
+
 // HashedScan adapts a hash tuple index into a Source; iteration order is
 // unspecified.
 type HashedScan struct{ Index tupleindex.Hashed }
@@ -38,6 +82,11 @@ func (s HashedScan) Len() int { return s.Index.Len() }
 
 // Scan visits tuples in unspecified order.
 func (s HashedScan) Scan(fn func(*storage.Tuple) bool) { s.Index.Scan(fn) }
+
+// ScanBatches implements BatchSource.
+func (s HashedScan) ScanBatches(buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	tupleindex.ScanHashedBatches(s.Index, buf, fn)
+}
 
 // ListColumn adapts one column of a temporary list into a Source: the
 // paper's pipeline where a selection result feeds a join (§2.1 Query 2).
@@ -54,14 +103,23 @@ func (s ListColumn) Scan(fn func(*storage.Tuple) bool) {
 	s.List.Scan(func(_ int, row storage.Row) bool { return fn(row[s.Column]) })
 }
 
+// ScanBatches implements BatchSource. Single-source lists hand their arena
+// chunks out zero-copy; wider lists gather the column into buf.
+func (s ListColumn) ScanBatches(buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	s.List.ScanColumnBatches(s.Column, buf, fn)
+}
+
 // Tuples materializes a source into a slice; builders (hash table, sort
-// array) use it as their input pass.
+// array) use it as their input pass. The source is drained block-wise and
+// block-copied into the result.
 func Tuples(s Source) []*storage.Tuple {
 	out := make([]*storage.Tuple, 0, s.Len())
-	s.Scan(func(t *storage.Tuple) bool {
-		out = append(out, t)
+	buf := storage.GetBatch()
+	ScanBatches(s, buf, func(block storage.TupleBatch) bool {
+		out = append(out, block...)
 		return true
 	})
+	storage.PutBatch(buf)
 	return out
 }
 

@@ -1,0 +1,140 @@
+package index
+
+// Optional batch capabilities. Batch-at-a-time execution (see
+// internal/storage/batch.go) wants the index layer to hand entries out in
+// blocks instead of one indirect callback per entry: a full scan that
+// invokes fn once per 256-entry block costs ~1/256 of the call dispatch,
+// and the block itself stays cache-resident while the operator's inner
+// loop runs over it.
+//
+// These are capability interfaces, not extensions of Ordered/Hashed: an
+// index that implements them is discovered by type assertion, and callers
+// fall back to the per-entry methods otherwise. The three structures the
+// engine uses on hot query paths — T Trees, sorted arrays, and Chained
+// Bucket Hashing — implement them; the other five structures of §3.2 keep
+// the per-entry contract only.
+//
+// Metering contract: the batched entry points record exactly the same
+// §3.1 operation counts as their per-entry equivalents (AddNode per node
+// touched, AddCompare per comparison). Tests assert that serial and
+// parallel plans — and now per-entry and batched plans — report identical
+// comparison totals, so a batched scan must not be "cheaper" on the meter
+// than the loop it replaces.
+
+// BatchScanner is an optional capability of indexes that can hand out
+// their entries in blocks. ScanBatches visits all entries in the index's
+// natural order (ascending for ordered structures, unspecified for hash
+// structures), invoking fn with successive blocks until fn returns false.
+//
+// buf, when non-nil, is the caller's scratch block; implementations that
+// must gather entries (node-structured indexes) fill it and hand it to fn,
+// reusing it between calls. Implementations with contiguous storage
+// (sorted arrays) may ignore buf and hand out subslices of their own
+// storage — callers must not retain or mutate the block after fn returns.
+type BatchScanner[E any] interface {
+	ScanBatches(buf []E, fn func(block []E) bool)
+}
+
+// OrderedBatcher is an optional capability of ordered indexes: SearchAllAppend
+// appends every entry matching pos to out and returns the extended slice.
+// It is SearchAll without the per-entry callback — the caller gets one
+// contiguous block of matches to iterate over.
+type OrderedBatcher[E any] interface {
+	SearchAllAppend(pos Pos[E], out []E) []E
+}
+
+// HashedBatcher is an optional capability of hash indexes: SearchKeyAppend
+// appends every entry in bucket h satisfying match to out and returns the
+// extended slice.
+type HashedBatcher[E any] interface {
+	SearchKeyAppend(h uint64, match func(E) bool, out []E) []E
+}
+
+// ScanOrderedBatches hands out idx's entries in blocks of cap(buf)
+// (BatchSize-sized when buf comes from storage.GetBatch). It uses the
+// index's native ScanBatches when available and otherwise gathers entries
+// from ScanAsc into buf, flushing each time it fills. fn must not retain
+// the block.
+func ScanOrderedBatches[E any](idx Ordered[E], buf []E, fn func(block []E) bool) {
+	if bs, ok := idx.(BatchScanner[E]); ok {
+		bs.ScanBatches(buf, fn)
+		return
+	}
+	gatherScan(idx.ScanAsc, buf, fn)
+}
+
+// ScanHashedBatches is ScanOrderedBatches for hash indexes (entry order
+// unspecified).
+func ScanHashedBatches[E any](idx Hashed[E], buf []E, fn func(block []E) bool) {
+	if bs, ok := idx.(BatchScanner[E]); ok {
+		bs.ScanBatches(buf, fn)
+		return
+	}
+	gatherScan(idx.Scan, buf, fn)
+}
+
+// gatherScan adapts a per-entry scan into block handoffs: entries are
+// gathered into buf and flushed each time it fills. It is the generic
+// fallback for the five index structures without a native ScanBatches.
+func gatherScan[E any](scan func(fn func(E) bool), buf []E, fn func(block []E) bool) {
+	if cap(buf) == 0 {
+		buf = make([]E, 0, 256)
+	}
+	buf = buf[:0]
+	stop := false
+	scan(func(e E) bool {
+		buf = append(buf, e)
+		if len(buf) == cap(buf) {
+			if !fn(buf) {
+				stop = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if !stop && len(buf) > 0 {
+		fn(buf)
+	}
+}
+
+// SearchAllAppend appends every entry of idx matching pos to out, using
+// the native OrderedBatcher capability when present and a SearchAll
+// gather otherwise.
+func SearchAllAppend[E any](idx Ordered[E], pos Pos[E], out []E) []E {
+	if ob, ok := idx.(OrderedBatcher[E]); ok {
+		return ob.SearchAllAppend(pos, out)
+	}
+	return searchAllGather(idx, pos, out)
+}
+
+// searchAllGather is the SearchAll fallback. It lives in its own function
+// so the closure's captured variables heap-allocate only on this cold
+// path, not at SearchAllAppend's entry.
+func searchAllGather[E any](idx Ordered[E], pos Pos[E], out []E) []E {
+	idx.SearchAll(pos, func(e E) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// SearchKeyAppend appends every entry of idx in bucket h satisfying match
+// to out, using the native HashedBatcher capability when present and a
+// SearchKeyAll gather otherwise.
+func SearchKeyAppend[E any](idx Hashed[E], h uint64, match func(E) bool, out []E) []E {
+	if hb, ok := idx.(HashedBatcher[E]); ok {
+		return hb.SearchKeyAppend(h, match, out)
+	}
+	return searchKeyGather(idx, h, match, out)
+}
+
+// searchKeyGather is the SearchKeyAll fallback, split out so its closure
+// cell is not allocated on the capability fast path.
+func searchKeyGather[E any](idx Hashed[E], h uint64, match func(E) bool, out []E) []E {
+	idx.SearchKeyAll(h, match, func(e E) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

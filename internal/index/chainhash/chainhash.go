@@ -165,6 +165,56 @@ func (t *Table[E]) SearchKeyAll(h uint64, match func(E) bool, fn func(E) bool) {
 	}
 }
 
+// SearchKeyAppend appends every entry in bucket h satisfying match to out
+// and returns the extended slice. It is the batched sibling of
+// SearchKeyAll — one call hands back the whole match set instead of one
+// callback per match — and records exactly the same §3.1 operation
+// counts: one node visit per chain node and one comparison per item.
+func (t *Table[E]) SearchKeyAppend(h uint64, match func(E) bool, out []E) []E {
+	for n := t.slots[t.slot(h)]; n != nil; n = n.next {
+		t.m.AddNode(1)
+		for _, x := range n.items {
+			t.m.AddCompare(1)
+			if match(x) {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// ScanBatches visits all entries in unspecified order, handing them to fn
+// in blocks gathered into buf (allocating a 256-entry block when buf has
+// no capacity). The block is reused between calls; fn must not retain it.
+func (t *Table[E]) ScanBatches(buf []E, fn func(block []E) bool) {
+	if cap(buf) == 0 {
+		buf = make([]E, 0, 256)
+	}
+	buf = buf[:0]
+	for _, head := range t.slots {
+		for n := head; n != nil; n = n.next {
+			items := n.items
+			for len(items) > 0 {
+				take := cap(buf) - len(buf)
+				if take > len(items) {
+					take = len(items)
+				}
+				buf = append(buf, items[:take]...)
+				items = items[take:]
+				if len(buf) == cap(buf) {
+					if !fn(buf) {
+						return
+					}
+					buf = buf[:0]
+				}
+			}
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf)
+	}
+}
+
 // Scan visits all entries in unspecified order.
 func (t *Table[E]) Scan(fn func(E) bool) {
 	for _, head := range t.slots {

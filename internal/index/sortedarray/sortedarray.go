@@ -114,6 +114,19 @@ func (a *Array[E]) SearchAll(pos index.Pos[E], fn func(E) bool) {
 	}
 }
 
+// SearchAllAppend appends every entry matching pos to out and returns the
+// extended slice: the batched sibling of SearchAll. Matches are contiguous
+// in a sorted array, so this is one binary search plus one block append —
+// the same §3.1 work SearchAll records.
+func (a *Array[E]) SearchAllAppend(pos index.Pos[E], out []E) []E {
+	i := sortutil.Search(a.items, pos, a.m)
+	j := i
+	for j < len(a.items) && pos(a.items[j]) == 0 {
+		j++
+	}
+	return append(out, a.items[i:j]...)
+}
+
 // Range visits entries between the keys described by lo and hi, ascending.
 func (a *Array[E]) Range(lo, hi index.Pos[E], fn func(E) bool) {
 	for i := sortutil.Search(a.items, lo, a.m); i < len(a.items); i++ {
@@ -134,6 +147,24 @@ func (a *Array[E]) ScanAsc(fn func(E) bool) {
 		if !fn(e) {
 			return
 		}
+	}
+}
+
+// ScanBatches visits all entries in ascending order, handing them to fn
+// in blocks. The array's storage is already one contiguous block, so this
+// is zero-copy: buf is ignored and fn receives subslices of the array
+// itself (up to 256 entries each). fn must not retain or mutate a block.
+func (a *Array[E]) ScanBatches(buf []E, fn func(block []E) bool) {
+	const block = 256
+	items := a.items
+	for len(items) > block {
+		if !fn(items[:block:block]) {
+			return
+		}
+		items = items[block:]
+	}
+	if len(items) > 0 {
+		fn(items[:len(items):len(items)])
 	}
 }
 

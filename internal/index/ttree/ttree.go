@@ -504,6 +504,29 @@ func (t *Tree[E]) SearchAll(pos index.Pos[E], fn func(E) bool) {
 	}
 }
 
+// SearchAllAppend appends every entry matching pos to out and returns the
+// extended slice: the batched sibling of SearchAll. After the initial
+// lowerBound descent (metered exactly as SearchAll's), matches are
+// appended node-block-wise — key-equal entries are contiguous within each
+// node, so the inner loop is one block append per node touched.
+func (t *Tree[E]) SearchAllAppend(pos index.Pos[E], out []E) []E {
+	c := t.lowerBound(pos)
+	for c.valid() {
+		items := c.n.items
+		j := c.i
+		for j < len(items) && pos(items[j]) == 0 {
+			j++
+		}
+		out = append(out, items[c.i:j]...)
+		if j < len(items) {
+			return out
+		}
+		c.i = len(items) - 1
+		c.next()
+	}
+	return out
+}
+
 // Range visits, ascending, every entry between the keys described by lo
 // and hi (inclusive).
 func (t *Tree[E]) Range(lo, hi index.Pos[E], fn func(E) bool) {
@@ -528,6 +551,46 @@ func (t *Tree[E]) ScanAsc(fn func(E) bool) {
 			return
 		}
 		c.Next()
+	}
+}
+
+// ScanBatches visits all entries in ascending order, handing them to fn
+// in blocks gathered into buf (allocating a 256-entry block when buf has
+// no capacity). Each T Tree node's items are already a sorted contiguous
+// run, so gathering is one block copy per node rather than one callback
+// per entry. The block is reused between calls; fn must not retain it.
+func (t *Tree[E]) ScanBatches(buf []E, fn func(block []E) bool) {
+	if cap(buf) == 0 {
+		buf = make([]E, 0, 256)
+	}
+	buf = buf[:0]
+	var walk func(n *node[E]) bool
+	walk = func(n *node[E]) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		items := n.items
+		for len(items) > 0 {
+			take := cap(buf) - len(buf)
+			if take > len(items) {
+				take = len(items)
+			}
+			buf = append(buf, items[:take]...)
+			items = items[take:]
+			if len(buf) == cap(buf) {
+				if !fn(buf) {
+					return false
+				}
+				buf = buf[:0]
+			}
+		}
+		return walk(n.right)
+	}
+	if walk(t.root) && len(buf) > 0 {
+		fn(buf)
 	}
 }
 

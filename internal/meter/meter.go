@@ -34,6 +34,7 @@ type Counters struct {
 	NodesVisited int64 // index nodes touched
 	Allocations  int64 // nodes or buckets allocated
 	Rotations    int64 // tree rebalance rotations
+	Batches      int64 // tuple-pointer blocks handed between operators
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -78,6 +79,16 @@ func (c *Counters) AddRotation(n int64) {
 	}
 }
 
+// AddBatch records n tuple-batch handoffs. Batch-at-a-time operators
+// count one batch per block of tuple pointers moved between stages, so
+// Batches/DataMoves exposes the amortization factor the batch layer buys.
+// Safe on a nil receiver.
+func (c *Counters) AddBatch(n int64) {
+	if c != nil {
+		c.Batches += n
+	}
+}
+
 // Reset zeroes every counter. Safe on a nil receiver.
 func (c *Counters) Reset() {
 	if c != nil {
@@ -96,6 +107,7 @@ func (c *Counters) Add(other Counters) {
 	c.NodesVisited += other.NodesVisited
 	c.Allocations += other.Allocations
 	c.Rotations += other.Rotations
+	c.Batches += other.Batches
 }
 
 // String renders the counters in a compact single line.
@@ -103,6 +115,6 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "meter(nil)"
 	}
-	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d",
-		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations)
+	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d",
+		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations, c.Batches)
 }

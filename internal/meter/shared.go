@@ -20,6 +20,7 @@ type SharedCounters struct {
 	nodesVisited atomic.Int64
 	allocations  atomic.Int64
 	rotations    atomic.Int64
+	batches      atomic.Int64
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -64,6 +65,13 @@ func (c *SharedCounters) AddRotation(n int64) {
 	}
 }
 
+// AddBatch records n tuple-batch handoffs. Safe on a nil receiver.
+func (c *SharedCounters) AddBatch(n int64) {
+	if c != nil {
+		c.batches.Add(n)
+	}
+}
+
 // Add atomically folds a finished operator's private Counters into the
 // shared accumulator. Safe on a nil receiver.
 func (c *SharedCounters) Add(other Counters) {
@@ -76,6 +84,7 @@ func (c *SharedCounters) Add(other Counters) {
 	c.nodesVisited.Add(other.NodesVisited)
 	c.allocations.Add(other.Allocations)
 	c.rotations.Add(other.Rotations)
+	c.batches.Add(other.Batches)
 }
 
 // Reset zeroes every counter. Safe on a nil receiver. Not atomic with
@@ -90,6 +99,7 @@ func (c *SharedCounters) Reset() {
 	c.nodesVisited.Store(0)
 	c.allocations.Store(0)
 	c.rotations.Store(0)
+	c.batches.Store(0)
 }
 
 // Snapshot returns a point-in-time copy as a plain Counters value. Safe on
@@ -105,6 +115,7 @@ func (c *SharedCounters) Snapshot() Counters {
 		NodesVisited: c.nodesVisited.Load(),
 		Allocations:  c.allocations.Load(),
 		Rotations:    c.rotations.Load(),
+		Batches:      c.batches.Load(),
 	}
 }
 

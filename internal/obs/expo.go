@@ -107,6 +107,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Ops.NodesVisited -= prev.Ops.NodesVisited
 	d.Ops.Allocations -= prev.Ops.Allocations
 	d.Ops.Rotations -= prev.Ops.Rotations
+	d.Ops.Batches -= prev.Ops.Batches
 	d.QueriesByPlan = subMap(s.QueriesByPlan, prev.QueriesByPlan)
 	d.IndexProbes = subMap(s.IndexProbes, prev.IndexProbes)
 	return d
@@ -169,6 +170,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	counter("mmdb_ops_nodes_visited_total", "Index nodes touched (paper §3.1).", s.Ops.NodesVisited)
 	counter("mmdb_ops_allocations_total", "Index nodes or buckets allocated (paper §3.1).", s.Ops.Allocations)
 	counter("mmdb_ops_rotations_total", "Tree rebalance rotations (paper §3.1).", s.Ops.Rotations)
+	counter("mmdb_ops_batches_total", "Tuple-pointer batches handed between operators.", s.Ops.Batches)
 
 	// Histogram in cumulative Prometheus form.
 	h := s.QueryLatency

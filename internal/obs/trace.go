@@ -120,7 +120,7 @@ func (n *TraceNode) Line() string {
 
 // compactOps renders only the non-zero §3.1 counters.
 func compactOps(c meter.Counters) string {
-	parts := make([]string, 0, 6)
+	parts := make([]string, 0, 7)
 	add := func(name string, v int64) {
 		if v != 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
@@ -132,6 +132,7 @@ func compactOps(c meter.Counters) string {
 	add("node", c.NodesVisited)
 	add("alloc", c.Allocations)
 	add("rot", c.Rotations)
+	add("batch", c.Batches)
 	if len(parts) == 0 {
 		return "no ops"
 	}

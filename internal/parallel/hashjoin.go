@@ -3,7 +3,6 @@ package parallel
 import (
 	"repro/internal/exec"
 	"repro/internal/index/chainhash"
-	"repro/internal/meter"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -42,13 +41,16 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	// buckets. buckets[chunk][part] is written by exactly one worker.
 	innerChunks := innerC.Chunks(w)
 	buckets := make([][][]*storage.Tuple, len(innerChunks))
-	spec.Meter.Add(run(w, len(innerChunks), func(m int, ctr *meter.Counters) {
+	spec.Meter.Add(run(w, len(innerChunks), func(m int, sc *scratch) {
 		local := make([][]*storage.Tuple, nparts)
-		innerChunks[m].Scan(func(t *storage.Tuple) bool {
-			ctr.AddHash(1)
-			h := storage.Hash(tupleindex.KeyOf(t, fi))
-			p := partOf(h, nparts)
-			local[p] = append(local[p], t)
+		exec.ScanBatches(innerChunks[m], sc.buf, func(block storage.TupleBatch) bool {
+			sc.ctr.AddHash(int64(len(block)))
+			sc.ctr.AddBatch(1)
+			for _, t := range block {
+				h := storage.Hash(tupleindex.KeyOf(t, fi))
+				p := partOf(h, nparts)
+				local[p] = append(local[p], t)
+			}
 			return true
 		})
 		buckets[m] = local
@@ -60,7 +62,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	// detached afterwards: the tables are shared read-only during probing
 	// and a live private counter would be a data race.
 	tables := make([]*chainhash.Table[*storage.Tuple], nparts)
-	spec.Meter.Add(run(w, nparts, func(p int, ctr *meter.Counters) {
+	spec.Meter.Add(run(w, nparts, func(p int, sc *scratch) {
 		count := 0
 		for m := range buckets {
 			count += len(buckets[m][p])
@@ -69,7 +71,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 			Field:    fi,
 			NodeSize: ns,
 			Capacity: maxInt(count, 1),
-			Meter:    ctr,
+			Meter:    &sc.ctr,
 		})
 		for m := range buckets {
 			for _, t := range buckets[m][p] {
@@ -86,27 +88,34 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	outerChunks := outerC.Chunks(w * morselsPerWorker)
 	results := make([]*storage.TempList, len(outerChunks))
 	counts := make([]int, len(outerChunks))
-	spec.Meter.Add(run(w, len(outerChunks), func(m int, ctr *meter.Counters) {
+	spec.Meter.Add(run(w, len(outerChunks), func(m int, sc *scratch) {
 		local := storage.MustTempList(desc)
 		n := 0
-		outerChunks[m].Scan(func(o *storage.Tuple) bool {
-			ko := tupleindex.KeyOf(o, fo)
-			ctr.AddHash(1)
-			h := storage.Hash(ko)
-			tables[partOf(h, nparts)].SearchKeyAll(h,
-				func(i *storage.Tuple) bool {
-					ctr.AddCompare(1)
-					return storage.Equal(tupleindex.KeyOf(i, fi), ko)
-				},
-				func(i *storage.Tuple) bool {
-					n++
-					if !spec.Discard {
-						local.Append(storage.Row{o, i})
+		matches := sc.keep
+		// One match closure per morsel, capturing the mutable probe key —
+		// a per-tuple closure literal would heap-allocate on every probe.
+		var ko storage.Value
+		match := func(i *storage.Tuple) bool {
+			sc.ctr.AddCompare(1)
+			return storage.Equal(tupleindex.KeyOf(i, fi), ko)
+		}
+		exec.ScanBatches(outerChunks[m], sc.buf, func(block storage.TupleBatch) bool {
+			sc.ctr.AddBatch(1)
+			for _, o := range block {
+				ko = tupleindex.KeyOf(o, fo)
+				sc.ctr.AddHash(1)
+				h := storage.Hash(ko)
+				matches = tables[partOf(h, nparts)].SearchKeyAppend(h, match, matches[:0])
+				n += len(matches)
+				if !spec.Discard {
+					for _, i := range matches {
+						local.AppendPair(o, i)
 					}
-					return true
-				})
+				}
+			}
 			return true
 		})
+		sc.keep = matches
 		results[m] = local
 		counts[m] = n
 	}))
@@ -118,7 +127,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 		}
 		*spec.RowsOut = total
 	}
-	return mergeLists(desc, results)
+	return mergeListsRecycle(desc, results)
 }
 
 func maxInt(a, b int) int {

@@ -54,17 +54,17 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
 	results := make([]*storage.TempList, nparts)
 	counts := make([]int, nparts)
-	spec.Meter.Add(run(w, nparts, func(r int, ctr *meter.Counters) {
+	spec.Meter.Add(run(w, nparts, func(r int, sc *scratch) {
 		outerRun := gatherRange(outerBuckets, r)
 		innerRun := gatherRange(innerBuckets, r)
 		if len(outerRun) == 0 || len(innerRun) == 0 {
 			results[r] = storage.MustTempList(desc)
 			return
 		}
-		ao := tupleindex.BuildArray(tupleindex.Options{Field: fo, Meter: ctr}, outerRun)
-		ai := tupleindex.BuildArray(tupleindex.Options{Field: fi, Meter: ctr}, innerRun)
+		ao := tupleindex.BuildArray(tupleindex.Options{Field: fo, Meter: &sc.ctr}, outerRun)
+		ai := tupleindex.BuildArray(tupleindex.Options{Field: fi, Meter: &sc.ctr}, innerRun)
 		sub := spec
-		sub.Meter = ctr
+		sub.Meter = &sc.ctr
 		sub.RowsOut = &counts[r]
 		sub.Parallelism = 1
 		results[r] = exec.MergeJoinArrays(ao, ai, sub)
@@ -77,7 +77,7 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 		}
 		*spec.RowsOut = total
 	}
-	return mergeLists(desc, results)
+	return mergeListsRecycle(desc, results)
 }
 
 // sampleSplitters draws up to w-1 range splitters from evenly spaced keys
@@ -115,15 +115,18 @@ func classifyRanges(tuples []*storage.Tuple, field int, splitters []storage.Valu
 	nparts := len(splitters) + 1
 	chunks := SliceSource(tuples).Chunks(w * morselsPerWorker)
 	buckets := make([][][]*storage.Tuple, len(chunks))
-	m.Add(run(w, len(chunks), func(c int, ctr *meter.Counters) {
+	m.Add(run(w, len(chunks), func(c int, sc *scratch) {
 		local := make([][]*storage.Tuple, nparts)
-		chunks[c].Scan(func(t *storage.Tuple) bool {
-			k := tupleindex.KeyOf(t, field)
-			r := sort.Search(len(splitters), func(i int) bool {
-				ctr.AddCompare(1)
-				return storage.Compare(splitters[i], k) > 0
-			})
-			local[r] = append(local[r], t)
+		exec.ScanBatches(chunks[c], sc.buf, func(block storage.TupleBatch) bool {
+			sc.ctr.AddBatch(1)
+			for _, t := range block {
+				k := tupleindex.KeyOf(t, field)
+				r := sort.Search(len(splitters), func(i int) bool {
+					sc.ctr.AddCompare(1)
+					return storage.Compare(splitters[i], k) > 0
+				})
+				local[r] = append(local[r], t)
+			}
 			return true
 		})
 		buckets[c] = local

@@ -56,12 +56,51 @@ func Degree(n int) int {
 // that finish early pull the remaining morsels.
 const morselsPerWorker = 4
 
+// scratch is per-worker scratch state: a private §3.1 counter block plus
+// two tuple-batch blocks (an input block and a survivors block) recycled
+// through scratchPool, so spinning up a worker allocates nothing on a
+// warm pool. The batches stay worker-private for the worker's lifetime —
+// morsel bodies slice them but never retain them.
+type scratch struct {
+	ctr  meter.Counters
+	buf  storage.TupleBatch
+	keep storage.TupleBatch
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{buf: storage.GetBatch(), keep: storage.GetBatch()}
+	},
+}
+
+// getScratch returns zeroed per-worker scratch from the pool.
+func getScratch() *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.ctr.Reset()
+	return sc
+}
+
+// putScratch clears the scratch batches (so pooled scratch does not pin
+// dead tuples) and recycles it.
+func putScratch(sc *scratch) {
+	for i := range sc.buf[:cap(sc.buf)] {
+		sc.buf[:cap(sc.buf)][i] = nil
+	}
+	for i := range sc.keep[:cap(sc.keep)] {
+		sc.keep[:cap(sc.keep)][i] = nil
+	}
+	sc.buf, sc.keep = sc.buf[:0], sc.keep[:0]
+	scratchPool.Put(sc)
+}
+
 // run executes n independent morsels on w workers pulled from a shared
-// atomic cursor. Each worker owns a private meter.Counters for its §3.1
-// operation counts; when all workers finish, the counters are folded
-// through a SharedCounters and the total is returned. fn must not touch
-// state shared between morsels.
-func run(w, n int, fn func(morsel int, m *meter.Counters)) meter.Counters {
+// atomic cursor. Each worker owns pooled private scratch — its
+// meter.Counters for §3.1 operation counts plus reusable tuple batches —
+// so per-worker setup does not allocate. When all workers finish, the
+// counters are folded through a SharedCounters and the total is returned.
+// fn must not touch state shared between morsels and must not retain sc's
+// batches past the morsel.
+func run(w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
 	if n == 0 {
 		return meter.Counters{}
 	}
@@ -75,15 +114,16 @@ func run(w, n int, fn func(morsel int, m *meter.Counters)) meter.Counters {
 	for i := 0; i < w; i++ {
 		go func() {
 			defer wg.Done()
-			var local meter.Counters
+			sc := getScratch()
 			for {
 				m := int(cursor.Add(1)) - 1
 				if m >= n {
 					break
 				}
-				fn(m, &local)
+				fn(m, sc)
 			}
-			shared.Add(local)
+			shared.Add(sc.ctr)
+			putScratch(sc)
 		}()
 	}
 	wg.Wait()
@@ -213,6 +253,21 @@ func (s SliceSource) Scan(fn func(*storage.Tuple) bool) {
 	}
 }
 
+// ScanBatches implements exec.BatchSource zero-copy: blocks are subslices
+// of the materialized slice itself. fn must not retain or mutate a block.
+func (s SliceSource) ScanBatches(buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	rest := []*storage.Tuple(s)
+	for len(rest) > storage.BatchSize {
+		if !fn(rest[:storage.BatchSize:storage.BatchSize]) {
+			return
+		}
+		rest = rest[storage.BatchSize:]
+	}
+	if len(rest) > 0 {
+		fn(rest[:len(rest):len(rest)])
+	}
+}
+
 // Chunks splits the slice into at most n near-equal contiguous ranges.
 func (s SliceSource) Chunks(n int) []exec.Source {
 	if len(s) == 0 {
@@ -243,6 +298,18 @@ func AsChunked(src exec.Source) Chunked {
 // panics only on programmer error (mismatched descriptors).
 func mergeLists(desc storage.Descriptor, parts []*storage.TempList) *storage.TempList {
 	out, err := storage.MergeLists(desc, parts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// mergeListsRecycle is mergeLists for parts the operator owns outright:
+// each part's arena chunks go back to the storage chunk pool as soon as
+// its rows are copied out, so a w-worker operator's transient lists stop
+// costing w× the result's memory. Parts must have no outstanding views.
+func mergeListsRecycle(desc storage.Descriptor, parts []*storage.TempList) *storage.TempList {
+	out, err := storage.MergeListsRecycle(desc, parts)
 	if err != nil {
 		panic(err)
 	}

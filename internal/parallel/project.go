@@ -40,12 +40,12 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 	// ascending row-index order and concatenating buckets in worker order
 	// preserves it.
 	buckets := make([][][]keyedRow, w)
-	m.Add(run(w, w, func(widx int, ctr *meter.Counters) {
+	m.Add(run(w, w, func(widx int, sc *scratch) {
 		lo, hi := n*widx/w, n*(widx+1)/w
 		local := make([][]keyedRow, nparts)
 		for i := lo; i < hi; i++ {
 			key := list.RowValues(i)
-			h := exec.KeyHash(key, ctr)
+			h := exec.KeyHash(key, &sc.ctr)
 			p := partOf(h, nparts)
 			local[p] = append(local[p], keyedRow{idx: i, hash: h, key: key})
 		}
@@ -57,7 +57,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 	// rows (the serial §3.4 sizing), first occurrence wins. Rows arrive in
 	// ascending index order, so "first" matches the serial scan.
 	survivors := make([][]int, nparts)
-	m.Add(run(w, nparts, func(p int, ctr *meter.Counters) {
+	m.Add(run(w, nparts, func(p int, sc *scratch) {
 		count := 0
 		for widx := range buckets {
 			count += len(buckets[widx][p])
@@ -80,7 +80,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 				s := r.hash % uint64(nslots)
 				dup := false
 				for e := slots[s]; e != nil; e = e.next {
-					if exec.KeysEqual(e.key, r.key, ctr) {
+					if exec.KeysEqual(e.key, r.key, &sc.ctr) {
 						dup = true
 						break
 					}
@@ -106,7 +106,9 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 		order = append(order, s...)
 	}
 	sort.Ints(order)
-	out := storage.MustTempList(list.Descriptor())
+	// The survivor count is known exactly here, so the output list is
+	// presized and never grows while emitting.
+	out := storage.MustTempListHint(list.Descriptor(), total)
 	for _, i := range order {
 		out.Append(list.Row(i))
 	}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// opaqueSource hides any partition structure so SelectScan must take the
+// channel-based batch pipeline (streamSelect) instead of chunking.
+type opaqueSource struct{ tuples []*storage.Tuple }
+
+func (s opaqueSource) Len() int { return len(s.tuples) }
+func (s opaqueSource) Scan(fn func(*storage.Tuple) bool) {
+	for _, t := range s.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// TestPooledRecyclingUnderRace hammers the pooled batches and arena
+// chunks from several concurrent queries — stream selects (pooled blocks
+// through channels), partitioned hash joins, and projections — while each
+// result is verified and released back to the pools. Run under -race this
+// checks that recycled blocks are never handed to two owners at once and
+// that cleared pool entries don't alias live results.
+func TestPooledRecyclingUnderRace(t *testing.T) {
+	n := 3*storage.BatchSize + 57
+	ids := storage.NewIDGen()
+	vals := buildValues(t, n, 50, 0.2, 42)
+	rel := buildRelation(t, ids, "race_r", vals)
+	inner := buildRelation(t, ids, "race_s", vals)
+	tuples := exec.Tuples(RelationSource{Rel: rel})
+	median := vals[len(vals)/2]
+	pred := func(tp *storage.Tuple) bool { return tp.Field(0).Int() < median }
+
+	selSpec := exec.SelectSpec{RelName: "race_r", Schema: rel.Schema()}
+	wantSel := exec.SelectScan(RelationSource{Rel: rel}, pred, selSpec).Len()
+	joinSpec := exec.JoinSpec{OuterName: "race_r", InnerName: "race_s",
+		OuterField: 0, InnerField: 0, Discard: true}
+	var wantJoin int
+	ws := joinSpec
+	ws.RowsOut = &wantJoin
+	exec.HashJoin(SliceSource(tuples), RelationSource{Rel: inner}, ws)
+
+	const goroutines = 4
+	const rounds = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stream select: opaque source, pooled blocks through a channel.
+				out := SelectScan(opaqueSource{tuples: tuples}, pred, selSpec, 4)
+				if out.Len() != wantSel {
+					t.Errorf("g%d r%d: stream select %d rows, want %d", g, r, out.Len(), wantSel)
+					return
+				}
+				// Chunked select: morsels over relation partitions.
+				out2 := SelectScan(RelationSource{Rel: rel}, pred, selSpec, 4)
+				if out2.Len() != wantSel {
+					t.Errorf("g%d r%d: chunked select %d rows, want %d", g, r, out2.Len(), wantSel)
+					return
+				}
+				// Partitioned hash join with per-worker scratch.
+				var got int
+				js := joinSpec
+				js.RowsOut = &got
+				HashJoin(SliceSource(tuples), RelationSource{Rel: inner}, js, 4)
+				if got != wantJoin {
+					t.Errorf("g%d r%d: join %d rows, want %d", g, r, got, wantJoin)
+					return
+				}
+				// Release recycles the arena chunks back to the shared pools
+				// while other goroutines are drawing from them.
+				out.Release()
+				out2.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

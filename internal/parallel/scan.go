@@ -1,39 +1,136 @@
 package parallel
 
 import (
+	"sort"
+	"sync"
+
 	"repro/internal/exec"
 	"repro/internal/meter"
 	"repro/internal/storage"
 )
 
 // SelectScan is the morsel-driven parallel counterpart of
-// exec.SelectScan: workers pull chunks of the source (relation partitions
-// or temp-list row ranges) from a shared cursor, filter them with pred
-// into private temp lists, and the per-morsel lists are concatenated in
-// morsel order — so the output row order is exactly the serial scan's.
-// workers <= 1 delegates to the serial operator.
+// exec.SelectScan. Morsels are batches: workers receive whole
+// storage.TupleBatch blocks — chunk ranges of a partitionable source, or
+// pooled blocks streamed through a channel for opaque sources — filter
+// each block into a survivors block, and block-copy the survivors into
+// private temp lists. Per-morsel lists are concatenated in morsel order
+// (recycling their arena chunks), so the output row order is exactly the
+// serial scan's. workers <= 1 delegates to the serial operator.
 func SelectScan(src exec.Source, pred func(*storage.Tuple) bool, spec exec.SelectSpec, workers int) *storage.TempList {
 	w := Degree(workers)
 	if w <= 1 {
 		return exec.SelectScan(src, pred, spec)
 	}
 	desc := exec.SingleDescriptor(spec.RelName, spec.Schema)
-	chunks := AsChunked(src).Chunks(w * morselsPerWorker)
-	if len(chunks) <= 1 {
-		return exec.SelectScan(src, pred, spec)
-	}
-	results := make([]*storage.TempList, len(chunks))
-	total := run(w, len(chunks), func(m int, ctr *meter.Counters) {
-		local := storage.MustTempList(desc)
-		chunks[m].Scan(func(t *storage.Tuple) bool {
-			ctr.AddCompare(1)
-			if pred(t) {
-				local.Append(storage.Row{t})
-			}
-			return true
+	if c, ok := src.(Chunked); ok {
+		chunks := c.Chunks(w * morselsPerWorker)
+		if len(chunks) <= 1 {
+			return exec.SelectScan(src, pred, spec)
+		}
+		results := make([]*storage.TempList, len(chunks))
+		total := run(w, len(chunks), func(m int, sc *scratch) {
+			local := storage.MustTempListHint(desc, chunks[m].Len())
+			keep := sc.keep
+			exec.ScanBatches(chunks[m], sc.buf, func(block storage.TupleBatch) bool {
+				sc.ctr.AddCompare(int64(len(block)))
+				sc.ctr.AddBatch(1)
+				keep = keep[:0]
+				for _, t := range block {
+					if pred(t) {
+						keep = append(keep, t)
+					}
+				}
+				local.AppendBatch(keep)
+				return true
+			})
+			sc.keep = keep
+			results[m] = local
 		})
-		results[m] = local
+		spec.Meter.Add(total)
+		return mergeListsRecycle(desc, results)
+	}
+	return streamSelect(src, pred, spec, desc, w)
+}
+
+// seqList tags a per-batch partial result with the batch's stream
+// position so the final merge can restore source order.
+type seqList struct {
+	seq  int
+	list *storage.TempList
+}
+
+// streamSelect is the batch pipeline for sources with no partition
+// structure: a single producer drains the source into pooled batches and
+// hands whole blocks to the workers through a channel; each worker
+// filters its blocks into per-batch lists tagged with the block's stream
+// position; the partial lists are merged in stream order, so the output
+// equals the serial scan's row for row. The channel moves one pointer per
+// 256 tuples — the batch layer's amortization applied to the worker
+// hand-off itself.
+func streamSelect(src exec.Source, pred func(*storage.Tuple) bool, spec exec.SelectSpec, desc storage.Descriptor, w int) *storage.TempList {
+	type seqBatch struct {
+		seq   int
+		block storage.TupleBatch
+	}
+	batches := make(chan seqBatch, w)
+	outs := make([][]seqList, w)
+	var shared meter.SharedCounters
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(widx int) {
+			defer wg.Done()
+			sc := getScratch()
+			var mine []seqList
+			for sb := range batches {
+				sc.ctr.AddCompare(int64(len(sb.block)))
+				sc.ctr.AddBatch(1)
+				keep := sc.keep[:0]
+				for _, t := range sb.block {
+					if pred(t) {
+						keep = append(keep, t)
+					}
+				}
+				sc.keep = keep
+				// No size hint: an unhinted list draws full pooled chunks,
+				// which MergeListsRecycle returns to the pool — the whole
+				// stream runs on recycled blocks.
+				local := storage.MustTempList(desc)
+				local.AppendBatch(keep)
+				mine = append(mine, seqList{seq: sb.seq, list: local})
+				storage.PutBatch(sb.block)
+			}
+			outs[widx] = mine
+			shared.Add(sc.ctr)
+			putScratch(sc)
+		}(i)
+	}
+
+	// Producer: drain the source block-wise. Blocks handed out by the
+	// source may be zero-copy views of its own storage, so each is copied
+	// into a pooled batch the consumer owns (and recycles).
+	seq := 0
+	buf := storage.GetBatch()
+	exec.ScanBatches(src, buf, func(block storage.TupleBatch) bool {
+		owned := append(storage.GetBatch(), block...)
+		batches <- seqBatch{seq: seq, block: owned}
+		seq++
+		return true
 	})
-	spec.Meter.Add(total)
-	return mergeLists(desc, results)
+	storage.PutBatch(buf)
+	close(batches)
+	wg.Wait()
+	spec.Meter.Add(shared.Snapshot())
+
+	parts := make([]seqList, 0, seq)
+	for _, mine := range outs {
+		parts = append(parts, mine...)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].seq < parts[j].seq })
+	lists := make([]*storage.TempList, len(parts))
+	for i, p := range parts {
+		lists[i] = p.list
+	}
+	return mergeListsRecycle(desc, lists)
 }

@@ -226,3 +226,31 @@ func ChooseWorkers(requested, rows int) int {
 	}
 	return maxW
 }
+
+// DefaultBatchSize is the tuple-pointer block size batch-at-a-time
+// operators move between stages: 256 pointers is 2 KiB on a 64-bit
+// layout, small enough to stay L1/L2-resident through an operator's
+// inner loop and large enough to amortize per-block dispatch to ~1/256
+// of a call per tuple. It matches storage.BatchSize (the arena chunk row
+// count), so a temp-list chunk doubles as a scan block.
+const DefaultBatchSize = 256
+
+// ChooseBatchSize resolves the effective block size for a query:
+// requested <= 0 means the default; tiny inputs shrink the block to the
+// input size so a two-row query does not carry a 256-slot block around.
+// The resolved size is a planning/accounting figure — pooled blocks are
+// physically DefaultBatchSize and operators simply stop filling them
+// early — so EXPLAIN ANALYZE can report the block size a query ran with.
+func ChooseBatchSize(requested, rows int) int {
+	bs := requested
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	if rows > 0 && rows < bs {
+		bs = rows
+	}
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
+}

@@ -44,12 +44,29 @@ func (d Descriptor) ColIndex(name string) int {
 
 // Row is one entry of a temporary list: a vector of tuple pointers, one
 // per source relation (a selection result has one, a two-way join result
-// has two, and so on).
+// has two, and so on). Rows handed out by a TempList are views into its
+// arena chunks: valid until the list is Reset or Released.
 type Row []*Tuple
+
+// ChunkRows is the number of rows per TempList arena chunk. It equals
+// BatchSize so a single-source list's chunks double as scan blocks, and
+// it is a power of two so row addressing is a shift and a mask.
+const (
+	ChunkRows  = BatchSize
+	chunkShift = 8 // log2(ChunkRows)
+	chunkMask  = ChunkRows - 1
+)
 
 // TempList is the MM-DBMS intermediate-result structure (§2.3): a list of
 // tuple-pointer rows plus a result descriptor. Unlike relations, temporary
 // lists may be traversed directly; they can also be indexed.
+//
+// Storage layout: rows live in chunked, arena-style segments — flat
+// blocks of ChunkRows rows × arity tuple pointers, recycled through a
+// sync.Pool. Appending never moves existing rows (no regrow-copy: a full
+// chunk is simply followed by a fresh one), so row views stay valid
+// across appends, and the single-row fast paths (AppendOne, AppendPair)
+// write straight into the current chunk without allocating a Row header.
 //
 // Concurrency contract: a TempList is single-writer. Parallel operators
 // must not share one list across workers — each worker appends to a
@@ -58,8 +75,11 @@ type Row []*Tuple
 // after which Rows is a safe zero-copy view.
 type TempList struct {
 	desc   Descriptor
-	rows   []Row
+	arity  int
+	chunks [][]*Tuple // all full chunks hold exactly ChunkRows rows; only the last may be partial
+	n      int        // total rows
 	frozen bool
+	flat   []Row // row-header view, materialized by Freeze
 }
 
 // NewTempList creates an empty temporary list with the given descriptor.
@@ -67,7 +87,27 @@ func NewTempList(desc Descriptor) (*TempList, error) {
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
-	return &TempList{desc: desc}, nil
+	return &TempList{desc: desc, arity: len(desc.Sources)}, nil
+}
+
+// NewTempListHint creates an empty temporary list pre-sized for hint
+// rows: the chunk directory is allocated once (appends never regrow it),
+// and a hint below ChunkRows gets a single exact-fit chunk so small
+// results — point lookups, LIMIT queries — do not pin a full pooled
+// chunk. Lists overrun their hint gracefully; it is a hint, not a cap.
+func NewTempListHint(desc Descriptor, hint int) (*TempList, error) {
+	l, err := NewTempList(desc)
+	if err != nil {
+		return nil, err
+	}
+	if hint > 0 {
+		nchunks := (hint + ChunkRows - 1) / ChunkRows
+		l.chunks = make([][]*Tuple, 0, nchunks)
+		if hint < ChunkRows {
+			l.chunks = append(l.chunks, make([]*Tuple, 0, hint*l.arity))
+		}
+	}
+	return l, nil
 }
 
 // MustTempList is NewTempList that panics on error; for tests and examples.
@@ -79,89 +119,230 @@ func MustTempList(desc Descriptor) *TempList {
 	return l
 }
 
+// MustTempListHint is NewTempListHint that panics on error.
+func MustTempListHint(desc Descriptor, hint int) *TempList {
+	l, err := NewTempListHint(desc, hint)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
 // Descriptor returns the result descriptor.
 func (l *TempList) Descriptor() Descriptor { return l.desc }
 
 // Len returns the number of rows.
-func (l *TempList) Len() int { return len(l.rows) }
+func (l *TempList) Len() int { return l.n }
 
-// Append adds a row. The row must have one pointer per source. Appending
-// to a frozen list is a programming error and panics.
+// Arity returns the number of source slots per row.
+func (l *TempList) Arity() int { return l.arity }
+
+// room returns the index of a chunk with space for at least one more row,
+// growing the arena as needed. A filled exact-fit chunk (from a small
+// CapacityHint) is migrated to a full pooled chunk so the layout stays
+// uniform: every chunk but the last holds exactly ChunkRows rows.
+func (l *TempList) room() int {
+	last := len(l.chunks) - 1
+	if last >= 0 {
+		c := l.chunks[last]
+		if len(c)+l.arity <= cap(c) {
+			return last
+		}
+		if len(c) < ChunkRows*l.arity {
+			full := append(getChunk(l.arity), c...)
+			l.chunks[last] = full
+			return last
+		}
+	}
+	l.chunks = append(l.chunks, getChunk(l.arity))
+	return last + 1
+}
+
+// Append adds a row, copying its tuple pointers into the arena. The row
+// must have one pointer per source; the caller keeps ownership of the
+// slice (it is not retained, so stack-allocated rows never escape).
+// Appending to a frozen list is a programming error and panics.
 func (l *TempList) Append(row Row) {
 	if l.frozen {
 		panic("storage: append to frozen TempList")
 	}
-	if len(row) != len(l.desc.Sources) {
-		panic(fmt.Sprintf("storage: row arity %d does not match %d sources", len(row), len(l.desc.Sources)))
+	if len(row) != l.arity {
+		panic(fmt.Sprintf("storage: row arity %d does not match %d sources", len(row), l.arity))
 	}
-	l.rows = append(l.rows, row)
+	i := l.room()
+	l.chunks[i] = append(l.chunks[i], row...)
+	l.n++
 }
 
-// Row returns row i.
-func (l *TempList) Row(i int) Row { return l.rows[i] }
+// AppendOne is the zero-allocation single-source fast path: the selection
+// emit `Append(Row{t})` without the Row header. Panics unless the list
+// has exactly one source.
+func (l *TempList) AppendOne(t *Tuple) {
+	if l.frozen {
+		panic("storage: append to frozen TempList")
+	}
+	if l.arity != 1 {
+		panic(fmt.Sprintf("storage: AppendOne on a list with %d sources", l.arity))
+	}
+	i := l.room()
+	l.chunks[i] = append(l.chunks[i], t)
+	l.n++
+}
+
+// AppendPair is the zero-allocation two-source fast path: the join emit
+// `Append(Row{o, i})` without the Row header. Panics unless the list has
+// exactly two sources.
+func (l *TempList) AppendPair(o, i *Tuple) {
+	if l.frozen {
+		panic("storage: append to frozen TempList")
+	}
+	if l.arity != 2 {
+		panic(fmt.Sprintf("storage: AppendPair on a list with %d sources", l.arity))
+	}
+	c := l.room()
+	l.chunks[c] = append(l.chunks[c], o, i)
+	l.n++
+}
+
+// AppendBatch block-copies a batch of tuples into a single-source list —
+// the emit path of batched selection. Panics unless the list has exactly
+// one source.
+func (l *TempList) AppendBatch(ts []*Tuple) {
+	if l.frozen {
+		panic("storage: append to frozen TempList")
+	}
+	if l.arity != 1 {
+		panic(fmt.Sprintf("storage: AppendBatch on a list with %d sources", l.arity))
+	}
+	l.appendFlat(ts)
+}
+
+// appendFlat copies a flat run of tuple pointers (a multiple of arity)
+// into the arena, splitting across chunk boundaries with block copies.
+func (l *TempList) appendFlat(src []*Tuple) {
+	for len(src) > 0 {
+		i := l.room()
+		c := l.chunks[i]
+		space := cap(c) - len(c)
+		if space > len(src) {
+			space = len(src)
+		}
+		space -= space % l.arity
+		l.chunks[i] = append(c, src[:space]...)
+		src = src[space:]
+		l.n += space / l.arity
+	}
+}
+
+// Row returns row i as a view into the arena (valid until Reset/Release).
+func (l *TempList) Row(i int) Row {
+	c := l.chunks[i>>chunkShift]
+	off := (i & chunkMask) * l.arity
+	return c[off : off+l.arity : off+l.arity]
+}
 
 // Rows returns a stable view of the rows. For a frozen list this is the
-// backing slice (zero copy); otherwise it is a snapshot, because handing
-// out the live backing slice of a growing list is an aliasing bug — a
-// later Append may reallocate and the caller silently keeps reading the
-// abandoned array (a data race under parallel emit).
+// materialized backing slice (zero copy); otherwise it is a snapshot,
+// so a caller never observes a view that a later Append could disturb.
 func (l *TempList) Rows() []Row {
 	if l.frozen {
-		return l.rows
+		return l.flat
 	}
 	return l.Snapshot()
 }
 
-// Snapshot returns a copy of the current rows that later Appends cannot
-// disturb.
+// Snapshot returns a copy of the current row headers that later Appends
+// cannot disturb. (The headers view arena chunks, and chunks never move:
+// appending past a full chunk starts a new one instead of reallocating.)
 func (l *TempList) Snapshot() []Row {
-	out := make([]Row, len(l.rows))
-	copy(out, l.rows)
+	out := make([]Row, 0, l.n)
+	a := l.arity
+	for _, c := range l.chunks {
+		for off := 0; off < len(c); off += a {
+			out = append(out, c[off:off+a:off+a])
+		}
+	}
 	return out
 }
 
 // Freeze seals the list: further Appends panic, and Rows becomes a safe
-// zero-copy view. Operators freeze their output before handing it to
-// concurrent readers. Freeze is idempotent; it returns the list for
-// chaining.
+// zero-copy view (the row-header slice is materialized once, here, so
+// concurrent readers of a frozen list never race on lazy state).
+// Operators freeze their output before handing it to concurrent readers.
+// Freeze is idempotent; it returns the list for chaining.
 func (l *TempList) Freeze() *TempList {
-	l.frozen = true
+	if !l.frozen {
+		l.flat = l.Snapshot()
+		l.frozen = true
+	}
 	return l
 }
 
 // Frozen reports whether the list has been sealed.
 func (l *TempList) Frozen() bool { return l.frozen }
 
-// Absorb appends every row of other. Both lists must have the same source
-// arity; the descriptor columns are taken from l. The per-worker parallel
-// append path builds one private TempList per worker and absorbs them in
-// worker order, so no mutex ever guards an Append.
+// Reset empties an unfrozen list for reuse, recycling its arena chunks
+// back to the pool. All outstanding row views become invalid.
+func (l *TempList) Reset() {
+	if l.frozen {
+		panic("storage: reset of frozen TempList")
+	}
+	for i, c := range l.chunks {
+		putChunk(c, l.arity)
+		l.chunks[i] = nil
+	}
+	l.chunks = l.chunks[:0]
+	l.n = 0
+}
+
+// Release recycles the list's arena chunks back to the pool and empties
+// it. The caller asserts that no row views (Row, Rows, Scan callbacks,
+// ScanColumnBatches blocks) are outstanding — the pooled memory will be
+// reused by other lists. Operators release intermediate lists whose rows
+// have been copied onward; a list handed to a caller is never released.
+func (l *TempList) Release() {
+	for i, c := range l.chunks {
+		putChunk(c, l.arity)
+		l.chunks[i] = nil
+	}
+	l.chunks = nil
+	l.flat = nil
+	l.n = 0
+}
+
+// Absorb appends every row of other (block copies, chunk by chunk). Both
+// lists must have the same source arity; the descriptor columns are taken
+// from l. The per-worker parallel append path builds one private TempList
+// per worker and absorbs them in worker order, so no mutex ever guards an
+// Append.
 func (l *TempList) Absorb(other *TempList) {
 	if l.frozen {
 		panic("storage: absorb into frozen TempList")
 	}
-	if len(other.desc.Sources) != len(l.desc.Sources) {
+	if other.arity != l.arity {
 		panic(fmt.Sprintf("storage: absorb arity %d does not match %d sources",
-			len(other.desc.Sources), len(l.desc.Sources)))
+			other.arity, l.arity))
 	}
-	l.rows = append(l.rows, other.rows...)
+	for _, c := range other.chunks {
+		l.appendFlat(c)
+	}
 }
 
 // MergeLists combines per-worker partial results into one list with the
-// given descriptor, in slice order, pre-sizing the row vector once. Nil
-// partials are skipped.
+// given descriptor, in slice order, pre-sizing the arena once. Nil
+// partials are skipped. The partials remain valid and untouched; use
+// MergeListsRecycle when they are private scratch that can be recycled.
 func MergeLists(desc Descriptor, parts []*TempList) (*TempList, error) {
-	out, err := NewTempList(desc)
-	if err != nil {
-		return nil, err
-	}
 	n := 0
 	for _, p := range parts {
 		if p != nil {
-			n += len(p.rows)
+			n += p.n
 		}
 	}
-	out.rows = make([]Row, 0, n)
+	out, err := NewTempListHint(desc, n)
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range parts {
 		if p != nil {
 			out.Absorb(p)
@@ -170,12 +351,85 @@ func MergeLists(desc Descriptor, parts []*TempList) (*TempList, error) {
 	return out, nil
 }
 
-// Scan visits rows in order until fn returns false.
-func (l *TempList) Scan(fn func(i int, row Row) bool) {
-	for i, row := range l.rows {
-		if !fn(i, row) {
-			return
+// MergeListsRecycle is MergeLists for partials that are private worker
+// scratch: after each partial's rows are copied into the result, its
+// arena chunks are released back to the pool and the partial is emptied.
+// The parts must have no outstanding row views.
+func MergeListsRecycle(desc Descriptor, parts []*TempList) (*TempList, error) {
+	n := 0
+	for _, p := range parts {
+		if p != nil {
+			n += p.n
 		}
+	}
+	out, err := NewTempListHint(desc, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		if p != nil {
+			out.Absorb(p)
+			p.Release()
+		}
+	}
+	return out, nil
+}
+
+// Scan visits rows in order until fn returns false. The row passed to fn
+// is a view into the arena; copy it (or its pointers) to retain it.
+func (l *TempList) Scan(fn func(i int, row Row) bool) {
+	i := 0
+	a := l.arity
+	for _, c := range l.chunks {
+		for off := 0; off < len(c); off += a {
+			if !fn(i, c[off:off+a:off+a]) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// ScanColumnBatches visits one source column of every row in blocks — the
+// batched counterpart of scanning a ListColumn tuple by tuple. For
+// single-source lists the arena chunks are handed out directly (zero
+// copy); wider rows gather the column into buf (a pooled batch is used
+// when buf has no capacity). Blocks are views; they are invalid after fn
+// returns false or the scan ends.
+func (l *TempList) ScanColumnBatches(col int, buf TupleBatch, fn func(block []*Tuple) bool) {
+	if col < 0 || col >= l.arity {
+		panic(fmt.Sprintf("storage: column %d out of %d sources", col, l.arity))
+	}
+	if l.arity == 1 {
+		for _, c := range l.chunks {
+			if len(c) == 0 {
+				continue
+			}
+			if !fn(c) {
+				return
+			}
+		}
+		return
+	}
+	if cap(buf) == 0 {
+		buf = GetBatch()
+		defer PutBatch(buf)
+	}
+	buf = buf[:0]
+	a := l.arity
+	for _, c := range l.chunks {
+		for off := col; off < len(c); off += a {
+			buf = append(buf, c[off])
+			if len(buf) == cap(buf) {
+				if !fn(buf) {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf)
 	}
 }
 
@@ -183,7 +437,7 @@ func (l *TempList) Scan(fn func(i int, row Row) bool) {
 // tuple pointer.
 func (l *TempList) Value(i, c int) Value {
 	col := l.desc.Cols[c]
-	return l.rows[i][col.Source].Field(col.Field)
+	return l.Row(i)[col.Source].Field(col.Field)
 }
 
 // RowValues materializes all output columns of row i. This is the only
@@ -191,8 +445,9 @@ func (l *TempList) Value(i, c int) Value {
 // delivery of a query result.
 func (l *TempList) RowValues(i int) []Value {
 	out := make([]Value, len(l.desc.Cols))
-	for c := range l.desc.Cols {
-		out[c] = l.Value(i, c)
+	row := l.Row(i)
+	for c, col := range l.desc.Cols {
+		out[c] = row[col.Source].Field(col.Field)
 	}
 	return out
 }

@@ -1,0 +1,43 @@
+package tupleindex
+
+import (
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Batched entry points over tuple indexes. These are the tuple-level face
+// of the optional index batch capabilities (see internal/index/batch.go):
+// operators in internal/exec and internal/parallel call these to pull
+// whole storage.TupleBatch blocks out of an index instead of paying one
+// indirect callback per tuple. Indexes with a native batch implementation
+// (T Tree, sorted array, Chained Bucket Hashing) hand blocks out
+// directly; the other structures fall back to a gather loop with
+// identical §3.1 metering.
+
+// ScanBatches visits every entry of an ordered tuple index in ascending
+// order, in blocks of up to cap(buf) tuples (a pool block from
+// storage.GetBatch when buf is nil). fn must not retain the block.
+func ScanBatches(ix Ordered, buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	index.ScanOrderedBatches[*storage.Tuple](ix, buf, fn)
+}
+
+// ScanHashedBatches is ScanBatches for hash indexes (entry order
+// unspecified).
+func ScanHashedBatches(ix Hashed, buf storage.TupleBatch, fn func(storage.TupleBatch) bool) {
+	index.ScanHashedBatches[*storage.Tuple](ix, buf, fn)
+}
+
+// SearchAllAppend appends every tuple of ix matching key k on field f to
+// out and returns the extended slice — the batched form of the §3.3.4
+// exact-match lookup.
+func SearchAllAppend(ix Ordered, k storage.Value, f int, out storage.TupleBatch) storage.TupleBatch {
+	return index.SearchAllAppend[*storage.Tuple](ix, PosFor(k, f), out)
+}
+
+// SearchKeyAppend appends every tuple of ix in the bucket of hash h whose
+// field f equals k to out and returns the extended slice.
+func SearchKeyAppend(ix Hashed, k storage.Value, f int, out storage.TupleBatch) storage.TupleBatch {
+	h := storage.Hash(k)
+	match := func(t *storage.Tuple) bool { return storage.Equal(KeyOf(t, f), k) }
+	return index.SearchKeyAppend[*storage.Tuple](ix, h, match, out)
+}

@@ -77,6 +77,13 @@ type Options struct {
 	// plan.MinRowsPerWorker rows, so small tables always run serial.
 	// Query.Parallel overrides it per query.
 	Parallelism int
+	// BatchSize is the tuple-pointer block size batch-at-a-time operators
+	// move between stages. 0 means plan.DefaultBatchSize (256). The
+	// planner caps it per query at the input cardinality
+	// (plan.ChooseBatchSize) and the resolved size appears in EXPLAIN
+	// ANALYZE. Pooled blocks are physically plan.DefaultBatchSize;
+	// smaller settings simply stop filling blocks early.
+	BatchSize int
 }
 
 // Database is a main-memory database: a set of tables, a partition-level

@@ -201,7 +201,11 @@ func (r *Result) Plan() string { return strings.Join(r.plan, "\n") }
 
 // truncate returns a result holding only the first n rows.
 func (r *Result) truncate(n int) *Result {
-	out := storage.MustTempList(r.list.Descriptor())
+	hint := n
+	if l := r.list.Len(); l < hint {
+		hint = l
+	}
+	out := storage.MustTempListHint(r.list.Descriptor(), hint)
 	r.list.Scan(func(i int, row storage.Row) bool {
 		if i >= n {
 			return false
@@ -268,6 +272,12 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	var planNotes []string
 	var total meter.Counters // §3.1 rollup across operators
 	scanned := int64(0)      // base-relation tuples fetched
+
+	// Resolve the block size batch-at-a-time operators run with, so the
+	// executed plan records it (pooled blocks are physically
+	// plan.DefaultBatchSize; tiny inputs account for smaller blocks).
+	batchSize := plan.ChooseBatchSize(q.db.opts.BatchSize, q.from.Cardinality())
+	planNotes = append(planNotes, fmt.Sprintf("batch: %d-tuple pointer blocks", batchSize))
 
 	var trace *QueryTrace
 	var root *obs.TraceNode
@@ -493,11 +503,17 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 				workers:  w,
 			}
 		}
-		list := storage.MustTempList(storage.Descriptor{Sources: []string{t.Name()}})
-		t.scanSource().Scan(func(tp *storage.Tuple) bool {
-			list.Append(storage.Row{tp})
+		// Serial full scan: whole pointer blocks move from the primary
+		// index into the (presized) temp list — no per-tuple Row headers.
+		list := storage.MustTempListHint(
+			storage.Descriptor{Sources: []string{t.Name()}}, t.Cardinality())
+		buf := storage.GetBatch()
+		exec.ScanBatches(t.scanSource(), buf, func(block storage.TupleBatch) bool {
+			m.AddBatch(1)
+			list.AppendBatch(block)
 			return true
 		})
+		storage.PutBatch(buf)
 		return selExec{
 			list:     list,
 			pathDesc: fmt.Sprintf("full scan via %s index", t.primary.kind),
@@ -546,7 +562,7 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 	}
 	// Residual filter: every predicate re-checked (strict bounds, extra
 	// conjuncts, Ne).
-	out := storage.MustTempList(list.Descriptor())
+	out := storage.MustTempListHint(list.Descriptor(), list.Len())
 	list.Scan(func(_ int, row storage.Row) bool {
 		tp := row[0]
 		for _, pr := range q.preds {
@@ -555,7 +571,7 @@ func (q *Query) runSelection(m *meter.Counters) selExec {
 				return true
 			}
 		}
-		out.Append(row)
+		out.AppendOne(tp) // selection lists are single-source (arity 1)
 		return true
 	})
 	pathDesc := fmt.Sprintf("%s on %q", bestPath, p.column)
@@ -682,6 +698,9 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 	out := joinExec{method: choice, rowsIn: outer.Len()}
 	switch choice {
 	case plan.JoinPrecomputed:
+		// Precomputed joins emit at most one row per outer tuple, so the
+		// output's exact upper bound is known before running.
+		spec.Hint = outer.Len()
 		out.list = exec.PrecomputedJoin(outer, j.leftField, spec)
 		out.innerScanned = out.list.Len() // one pointer dereference per match
 	case plan.JoinTreeMerge:
@@ -750,7 +769,7 @@ func (q *Query) project(list *storage.TempList) (*storage.TempList, error) {
 			cols = append(cols, ref)
 		}
 	}
-	out := storage.MustTempList(storage.Descriptor{Sources: desc.Sources, Cols: cols})
+	out := storage.MustTempListHint(storage.Descriptor{Sources: desc.Sources, Cols: cols}, list.Len())
 	list.Scan(func(_ int, row storage.Row) bool {
 		out.Append(row)
 		return true
