@@ -1,0 +1,164 @@
+// benchgate is the benchmark regression gate: it compares the raw
+// output of `go test -bench ... -benchmem` against a checked-in
+// baseline and fails when a benchmark regresses.
+//
+//	go test -run xxx -bench . -benchmem -count 3 ./internal/radix/ | \
+//	    go run ./cmd/benchgate -baseline internal/bench/baselines/radix_baseline.txt
+//
+// Two gates, with very different strictness:
+//
+//   - allocs/op is deterministic and machine-independent, so it is
+//     gated exactly: any benchmark allocating more objects per op than
+//     its baseline fails (the -allow-extra-allocs flag relaxes this).
+//   - ns/op varies with hardware, so it is gated loosely: a benchmark
+//     fails only when it exceeds baseline x (1 + -ns-tol). The default
+//     tolerance of 1.0 (2x) is deliberately coarse — it catches
+//     order-of-magnitude regressions (an accidental per-op allocation,
+//     a modulo reintroduced on a masked hot path) without flaking on a
+//     different CPU. Set -ns-tol 0 to disable the time gate entirely.
+//
+// When the same benchmark appears multiple times (-count N), the best
+// (minimum) of each metric is used on both sides — the steady state,
+// not the noise. A benchmark present in the baseline but missing from
+// the current run fails the gate, so the baseline cannot silently rot.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result is one benchmark's best observed metrics.
+type result struct {
+	ns     float64
+	allocs int64
+	hasMem bool // -benchmem columns present
+}
+
+// benchLine matches `BenchmarkName-8  123  45.6 ns/op  789 B/op  2 allocs/op`
+// with an optional MB/s column (b.SetBytes) before the -benchmem pair.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		cur := result{ns: ns, allocs: -1}
+		if m[3] != "" {
+			a, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			cur.allocs, cur.hasMem = a, true
+		}
+		if prev, ok := out[m[1]]; ok {
+			if prev.ns < cur.ns {
+				cur.ns = prev.ns
+			}
+			if prev.hasMem && (!cur.hasMem || prev.allocs < cur.allocs) {
+				cur.allocs, cur.hasMem = prev.allocs, true
+			}
+		}
+		out[m[1]] = cur
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "checked-in `go test -bench` output to gate against (required)")
+		nsTol        = flag.Float64("ns-tol", 1.0, "allowed fractional ns/op regression (1.0 = 2x baseline; 0 disables)")
+		extraAllocs  = flag.Int64("allow-extra-allocs", 0, "allocs/op slack above baseline before failing")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var cur map[string]result
+	if flag.NArg() > 0 {
+		cur, err = parseFile(flag.Arg(0))
+	} else {
+		cur, err = parse(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline holds no benchmark lines")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-40s %14s %14s %10s %10s  %s\n",
+		"benchmark", "base ns/op", "cur ns/op", "base aop", "cur aop", "verdict")
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("%-40s %14.1f %14s %10s %10s  FAIL (missing from current run)\n",
+				n, b.ns, "-", allocStr(b), "-")
+			failed = true
+			continue
+		}
+		verdict := "ok"
+		if b.hasMem && c.hasMem && c.allocs > b.allocs+*extraAllocs {
+			verdict = fmt.Sprintf("FAIL (allocs/op %d > baseline %d)", c.allocs, b.allocs)
+			failed = true
+		} else if *nsTol > 0 && c.ns > b.ns*(1+*nsTol) {
+			verdict = fmt.Sprintf("FAIL (ns/op %.1f > %.1f allowed)", c.ns, b.ns*(1+*nsTol))
+			failed = true
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %10s %10s  %s\n",
+			n, b.ns, c.ns, allocStr(b), allocStr(c), verdict)
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func allocStr(r result) string {
+	if !r.hasMem {
+		return "-"
+	}
+	return strconv.FormatInt(r.allocs, 10)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/radix
+cpu: Intel(R) Xeon(R)
+BenchmarkPartition1M-4   	     100	  11000000 ns/op	2104.10 MB/s	     120 B/op	       3 allocs/op
+BenchmarkPartition1M-4   	     100	  10500000 ns/op	2187.29 MB/s	     100 B/op	       2 allocs/op
+BenchmarkTableProbe-4    	20000000	        55.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSlotMask        	50000000	         1.2 ns/op
+PASS
+ok  	repro/internal/radix	5.0s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	p := got["BenchmarkPartition1M"]
+	if p.ns != 10500000 || p.allocs != 2 || !p.hasMem {
+		t.Fatalf("duplicate runs not min-folded: %+v", p)
+	}
+	tp := got["BenchmarkTableProbe"]
+	if tp.ns != 55.5 || tp.allocs != 0 || !tp.hasMem {
+		t.Fatalf("TableProbe = %+v", tp)
+	}
+	sm := got["BenchmarkSlotMask"]
+	if sm.ns != 1.2 || sm.hasMem {
+		t.Fatalf("benchmem-less line mishandled: %+v", sm)
+	}
+}

@@ -24,6 +24,7 @@ var All = []Experiment{
 	{ID: "ablation-ptrjoin", Exhibit: "Ablation — pointer vs value foreign keys", Run: AblationPointerJoin},
 	{ID: "parallel", Exhibit: "Extension — partition-parallel operator sweep", Run: ParallelJoinSweep},
 	{ID: "batch", Exhibit: "Extension — tuple-at-a-time vs batch-at-a-time execution", Run: BatchExecution},
+	{ID: "radix", Exhibit: "Extension — chained vs cache-conscious radix hash join", Run: RadixJoinSweep},
 }
 
 // ByID resolves an experiment.

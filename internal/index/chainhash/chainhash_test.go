@@ -72,6 +72,27 @@ func TestSearchCostGrowsWithOverload(t *testing.T) {
 	}
 }
 
+func TestSlotCountIsPowerOfTwo(t *testing.T) {
+	for _, hint := range []int{1, 3, 4, 100, 1000, 4096, 100000} {
+		tb := intTable(4, hint, nil)
+		n := len(tb.slots)
+		if n&(n-1) != 0 || n < 1 {
+			t.Fatalf("hint %d: %d slots, not a power of two", hint, n)
+		}
+		if tb.mask != uint64(n-1) {
+			t.Fatalf("hint %d: mask %#x does not match %d slots", hint, tb.mask, n)
+		}
+		// Still sized for ~one full node per slot: within 2x below the
+		// pre-rounding count hint/nodeSize, and never above it.
+		if 2*n < hint/4 {
+			t.Fatalf("hint %d: only %d slots", hint, n)
+		}
+		if hint >= 4 && n > hint/4 {
+			t.Fatalf("hint %d: %d slots exceed the pre-rounding count", hint, n)
+		}
+	}
+}
+
 func TestStorageFactorIncludesUnusedSlots(t *testing.T) {
 	// §3.2.2: chained bucket hashing's 2.3 factor came from one pointer
 	// per data item plus partly-unused table slots. With single-item
@@ -83,5 +104,49 @@ func TestStorageFactorIncludesUnusedSlots(t *testing.T) {
 	f := index.PaperModel.Factor(tb.Stats())
 	if f < 2.0 || f > 4.0 {
 		t.Fatalf("storage factor %.2f outside the expected 2-4 band", f)
+	}
+}
+
+// The slot computation runs once per Insert and once per probe, on the
+// hot path of every hash join build. The benchmark pair documents why
+// New rounds the slot count to a power of two: a runtime-variable
+// modulo is a hardware divide, the mask is a single AND. The slot count
+// is loaded from a package variable so the compiler cannot
+// strength-reduce the modulo the way it could a constant.
+var (
+	benchSlots uint64 = 1 << 14
+	benchMask  uint64 = 1<<14 - 1
+	benchSink  uint64
+)
+
+func BenchmarkSlotModulo(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += indextest.HashKey(int64(i)) % benchSlots
+	}
+	benchSink = s
+}
+
+func BenchmarkSlotMask(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += indextest.HashKey(int64(i)) & benchMask
+	}
+	benchSink = s
+}
+
+// End-to-end probe cost at one full node per slot.
+func BenchmarkSearchKey(b *testing.B) {
+	const n = 1 << 16
+	tb := intTable(4, n, nil)
+	for i := int64(0); i < n; i++ {
+		tb.Insert(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i & (n - 1))
+		if _, ok := tb.SearchKey(indextest.HashKey(k), func(e int64) bool { return e == k }); !ok {
+			b.Fatal("key lost")
+		}
 	}
 }

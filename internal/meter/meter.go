@@ -26,7 +26,9 @@ package meter
 
 import "fmt"
 
-// Counters accumulates the operation counts the paper tracked.
+// Counters accumulates the operation counts the paper tracked, plus the
+// cache-conscious extensions (batch handoffs and radix partitioning work)
+// the modern operators report through the same channel.
 type Counters struct {
 	Comparisons  int64 // key/value comparisons
 	DataMoves    int64 // element copies or shifts (slots moved)
@@ -35,6 +37,8 @@ type Counters struct {
 	Allocations  int64 // nodes or buckets allocated
 	Rotations    int64 // tree rebalance rotations
 	Batches      int64 // tuple-pointer blocks handed between operators
+	RadixPasses  int64 // radix partitioning passes executed
+	Partitions   int64 // radix partitions produced (fan-out total)
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -89,6 +93,24 @@ func (c *Counters) AddBatch(n int64) {
 	}
 }
 
+// AddRadixPass records n radix partitioning passes. Each pass streams
+// every input entry through the write-combining scatter once, so
+// RadixPasses×rows approximates the data movement the radix kernel adds
+// in exchange for cache-resident build tables. Safe on a nil receiver.
+func (c *Counters) AddRadixPass(n int64) {
+	if c != nil {
+		c.RadixPasses += n
+	}
+}
+
+// AddPartition records n radix partitions produced. Safe on a nil
+// receiver.
+func (c *Counters) AddPartition(n int64) {
+	if c != nil {
+		c.Partitions += n
+	}
+}
+
 // Reset zeroes every counter. Safe on a nil receiver.
 func (c *Counters) Reset() {
 	if c != nil {
@@ -108,6 +130,8 @@ func (c *Counters) Add(other Counters) {
 	c.Allocations += other.Allocations
 	c.Rotations += other.Rotations
 	c.Batches += other.Batches
+	c.RadixPasses += other.RadixPasses
+	c.Partitions += other.Partitions
 }
 
 // String renders the counters in a compact single line.
@@ -115,6 +139,7 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "meter(nil)"
 	}
-	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d",
-		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations, c.Batches)
+	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d rpass=%d part=%d",
+		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations, c.Batches,
+		c.RadixPasses, c.Partitions)
 }

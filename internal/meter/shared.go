@@ -21,6 +21,8 @@ type SharedCounters struct {
 	allocations  atomic.Int64
 	rotations    atomic.Int64
 	batches      atomic.Int64
+	radixPasses  atomic.Int64
+	partitions   atomic.Int64
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -72,6 +74,20 @@ func (c *SharedCounters) AddBatch(n int64) {
 	}
 }
 
+// AddRadixPass records n radix partitioning passes. Safe on a nil receiver.
+func (c *SharedCounters) AddRadixPass(n int64) {
+	if c != nil {
+		c.radixPasses.Add(n)
+	}
+}
+
+// AddPartition records n radix partitions produced. Safe on a nil receiver.
+func (c *SharedCounters) AddPartition(n int64) {
+	if c != nil {
+		c.partitions.Add(n)
+	}
+}
+
 // Add atomically folds a finished operator's private Counters into the
 // shared accumulator. Safe on a nil receiver.
 func (c *SharedCounters) Add(other Counters) {
@@ -85,6 +101,8 @@ func (c *SharedCounters) Add(other Counters) {
 	c.allocations.Add(other.Allocations)
 	c.rotations.Add(other.Rotations)
 	c.batches.Add(other.Batches)
+	c.radixPasses.Add(other.RadixPasses)
+	c.partitions.Add(other.Partitions)
 }
 
 // Reset zeroes every counter. Safe on a nil receiver. Not atomic with
@@ -100,6 +118,8 @@ func (c *SharedCounters) Reset() {
 	c.allocations.Store(0)
 	c.rotations.Store(0)
 	c.batches.Store(0)
+	c.radixPasses.Store(0)
+	c.partitions.Store(0)
 }
 
 // Snapshot returns a point-in-time copy as a plain Counters value. Safe on
@@ -116,6 +136,8 @@ func (c *SharedCounters) Snapshot() Counters {
 		Allocations:  c.allocations.Load(),
 		Rotations:    c.rotations.Load(),
 		Batches:      c.batches.Load(),
+		RadixPasses:  c.radixPasses.Load(),
+		Partitions:   c.partitions.Load(),
 	}
 }
 

@@ -108,6 +108,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Ops.Allocations -= prev.Ops.Allocations
 	d.Ops.Rotations -= prev.Ops.Rotations
 	d.Ops.Batches -= prev.Ops.Batches
+	d.Ops.RadixPasses -= prev.Ops.RadixPasses
+	d.Ops.Partitions -= prev.Ops.Partitions
 	d.QueriesByPlan = subMap(s.QueriesByPlan, prev.QueriesByPlan)
 	d.IndexProbes = subMap(s.IndexProbes, prev.IndexProbes)
 	return d
@@ -171,6 +173,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	counter("mmdb_ops_allocations_total", "Index nodes or buckets allocated (paper §3.1).", s.Ops.Allocations)
 	counter("mmdb_ops_rotations_total", "Tree rebalance rotations (paper §3.1).", s.Ops.Rotations)
 	counter("mmdb_ops_batches_total", "Tuple-pointer batches handed between operators.", s.Ops.Batches)
+	counter("mmdb_ops_radix_passes_total", "Radix partitioning passes executed.", s.Ops.RadixPasses)
+	counter("mmdb_ops_partitions_total", "Radix partitions produced (fan-out total).", s.Ops.Partitions)
 
 	// Histogram in cumulative Prometheus form.
 	h := s.QueryLatency

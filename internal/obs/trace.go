@@ -22,8 +22,17 @@ type TraceNode struct {
 	RowsOut    int           // rows the operator emitted
 	Workers    int           // parallel workers used (0 or 1 = serial)
 	Wall       time.Duration // operator wall time
-	Ops        meter.Counters
-	Children   []*TraceNode
+
+	// Radix-execution detail, populated only when the operator ran on the
+	// cache-conscious radix path: how many scatter passes the kernel
+	// executed, the final partition fan-out, and the partition skew (max
+	// partition size over mean; 1.0 = perfectly balanced).
+	RadixPasses   int
+	Partitions    int
+	PartitionSkew float64
+
+	Ops      meter.Counters
+	Children []*TraceNode
 }
 
 // Add appends a child operator and returns it.
@@ -112,6 +121,9 @@ func (n *TraceNode) Line() string {
 	if n.Workers > 1 {
 		fmt.Fprintf(&b, "  workers=%d", n.Workers)
 	}
+	if n.Partitions > 0 {
+		fmt.Fprintf(&b, "  radix: passes=%d parts=%d skew=%.2f", n.RadixPasses, n.Partitions, n.PartitionSkew)
+	}
 	if n.Ops != (meter.Counters{}) {
 		fmt.Fprintf(&b, "  [%s]", compactOps(n.Ops))
 	}
@@ -120,7 +132,7 @@ func (n *TraceNode) Line() string {
 
 // compactOps renders only the non-zero §3.1 counters.
 func compactOps(c meter.Counters) string {
-	parts := make([]string, 0, 7)
+	parts := make([]string, 0, 9)
 	add := func(name string, v int64) {
 		if v != 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
@@ -133,6 +145,8 @@ func compactOps(c meter.Counters) string {
 	add("alloc", c.Allocations)
 	add("rot", c.Rotations)
 	add("batch", c.Batches)
+	add("rpass", c.RadixPasses)
+	add("part", c.Partitions)
 	if len(parts) == 0 {
 		return "no ops"
 	}

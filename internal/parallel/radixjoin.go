@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/radix"
+	"repro/internal/storage"
+	"repro/internal/tupleindex"
+)
+
+// RadixHashJoin is the cache-conscious counterpart of the chained-bucket
+// hash join: both sides are multi-pass radix-partitioned on the top bits
+// of the join-key hash (internal/radix's histogram-then-scatter kernel
+// with write-combining buffers), then every partition pair is processed
+// independently — build a flat open-addressing table over the inner
+// partition, sized to stay L2-resident, and probe it with the outer
+// partition's entries straight out of the partitioned array. Partition
+// pairs are fanned out across the worker pool as morsels; workers=1 runs
+// the same partitioned algorithm serially, which is still a win at scale
+// because the cache behavior, not the parallelism, is the point.
+//
+// Key hashes are computed once per tuple and reused for partitioning,
+// table placement, and the probe's hash-first filter — the full key
+// comparison runs only on 64-bit hash equality, so cold tuples are
+// rarely touched for non-matches. Equal keys hash equal, so matches can
+// never cross partitions.
+//
+// Output rows are grouped by partition (within one partition, outer scan
+// order); the match multiset is identical to the serial join's. A Limit
+// (inherently sequential early exit) or an empty side delegates to the
+// serial exec.HashJoin. Returns the result list plus the build side's
+// partitioning stats for traces and EXPLAIN ANALYZE.
+func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, workers int) (*storage.TempList, radix.Stats) {
+	pl := radix.Plan{Bits: bits}
+	if spec.Limit > 0 || pl.Fanout() <= 1 {
+		return exec.HashJoin(outer, inner, spec), radix.Stats{}
+	}
+	w := Degree(workers)
+	innerC, outerC := AsChunked(inner), AsChunked(outer)
+	ni, no := innerC.Len(), outerC.Len()
+	if ni == 0 || no == 0 {
+		return exec.HashJoin(outerC, innerC, spec), radix.Stats{}
+	}
+
+	// Phase 1 — hash both sides into entry arrays: one storage.Hash per
+	// tuple, reused by every later phase. Chunks are contiguous in source
+	// order, so each worker writes a disjoint range of the entry array.
+	ie := hashEntries(innerC, ni, spec.InnerField, spec.Meter, w)
+	oe := hashEntries(outerC, no, spec.OuterField, spec.Meter, w)
+
+	// Phase 2 — radix-partition both sides with pooled kernel scratch.
+	// The two partitioners stay live until the probe phase finishes
+	// (their internal buffers may hold the partitioned layouts).
+	pi := radix.GetTuplePartitioner()
+	po := radix.GetTuplePartitioner()
+	ie, ioffs := pi.Partition(ie, pl, spec.Meter)
+	oe, ooffs := po.Partition(oe, pl, spec.Meter)
+	stats := radix.StatsOf(pl, ioffs)
+
+	// Phase 3 — per-partition build + probe, partition pairs as morsels.
+	// Each pair touches only its two partition extents and its own flat
+	// table, so a pair's working set is the L2-sized footprint the plan
+	// chose the radix bits for.
+	fanout := pl.Fanout()
+	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
+	results := make([]*storage.TempList, fanout)
+	counts := make([]int, fanout)
+	fi, fo := spec.InnerField, spec.OuterField
+	spec.Meter.Add(run(w, fanout, func(p int, sc *scratch) {
+		blo, bhi := ioffs[p], ioffs[p+1]
+		plo, phi := ooffs[p], ooffs[p+1]
+		if blo == bhi || plo == phi {
+			return // nothing to build or nothing to probe: no matches
+		}
+		tbl := radix.GetTable()
+		if tbl.Reset(bhi - blo) {
+			sc.ctr.AddAlloc(1)
+		}
+		for _, e := range ie[blo:bhi] {
+			tbl.Insert(e.H, e.P)
+		}
+		sc.ctr.AddMove(int64(bhi - blo))
+		var local *storage.TempList
+		if !spec.Discard {
+			local = storage.MustTempList(desc)
+		}
+		// One match closure per morsel, capturing the mutable probe key —
+		// a per-tuple closure literal would heap-allocate on every probe.
+		var ko storage.Value
+		match := func(i *storage.Tuple) bool {
+			sc.ctr.AddCompare(1)
+			return storage.Equal(tupleindex.KeyOf(i, fi), ko)
+		}
+		n := 0
+		matches := sc.keep
+		probe := oe[plo:phi]
+		sc.ctr.AddBatch(int64(1 + len(probe)/storage.BatchSize))
+		for j := range probe {
+			o := probe[j].P
+			ko = tupleindex.KeyOf(o, fo)
+			matches = tbl.ProbeAppend(probe[j].H, match, matches[:0])
+			n += len(matches)
+			if local != nil {
+				for _, i := range matches {
+					local.AppendPair(o, i)
+				}
+			}
+		}
+		sc.keep = matches
+		radix.PutTable(tbl)
+		results[p] = local
+		counts[p] = n
+	}))
+	radix.PutTuplePartitioner(pi)
+	radix.PutTuplePartitioner(po)
+
+	if spec.RowsOut != nil {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		*spec.RowsOut = total
+	}
+	parts := results[:0]
+	for _, r := range results {
+		if r != nil {
+			parts = append(parts, r)
+		}
+	}
+	if spec.Discard {
+		return storage.MustTempList(desc), stats
+	}
+	return mergeListsRecycle(desc, parts), stats
+}
+
+// hashEntries materializes a side into (hash, tuple) entries, one
+// storage.Hash call per tuple, parallel over contiguous chunks.
+func hashEntries(src Chunked, n, field int, m *meter.Counters, w int) []radix.TupleEntry {
+	es := make([]radix.TupleEntry, n)
+	chunks := src.Chunks(w * morselsPerWorker)
+	offs := make([]int, len(chunks)+1)
+	for i, c := range chunks {
+		offs[i+1] = offs[i] + c.Len()
+	}
+	m.Add(run(w, len(chunks), func(c int, sc *scratch) {
+		i := offs[c]
+		exec.ScanBatches(chunks[c], sc.buf, func(block storage.TupleBatch) bool {
+			sc.ctr.AddBatch(1)
+			sc.ctr.AddHash(int64(len(block)))
+			for _, t := range block {
+				es[i] = radix.TupleEntry{H: storage.Hash(tupleindex.KeyOf(t, field)), P: t}
+				i++
+			}
+			return true
+		})
+	}))
+	return es
+}

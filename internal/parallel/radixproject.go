@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/radix"
+	"repro/internal/storage"
+)
+
+// RadixProjectHash is the cache-conscious duplicate elimination: rows
+// are radix-partitioned on their projected-key hash (stable scatter —
+// ascending row order survives within every partition), each partition
+// is deduplicated locally with a flat open-addressing table of row
+// indices instead of one global chained structure, and survivors are
+// merged back into first-occurrence input order. The per-partition
+// tables are partition-sized, so dedup of a huge list runs against
+// L2-resident state; the hash-first filter means full key comparisons
+// run only on 64-bit hash collisions — overwhelmingly true duplicates.
+//
+// The output is bit-identical to exec.ProjectHash's: the first
+// occurrence of every distinct key, in input order. A nil/empty radix
+// plan or a tiny list delegates to the partitioned ProjectHash (which
+// itself delegates to the serial §3.4 operator at workers <= 1).
+func RadixProjectHash(list *storage.TempList, m *meter.Counters, workers int, bits []uint) (*storage.TempList, radix.Stats) {
+	pl := radix.Plan{Bits: bits}
+	n := list.Len()
+	if pl.Fanout() <= 1 || n < 2 || n > math.MaxInt32-1 {
+		return ProjectHash(list, m, workers), radix.Stats{}
+	}
+	w := Degree(workers)
+
+	// Phase 1 — hash every row's projected key, parallel over static
+	// contiguous ranges (each worker writes a disjoint span).
+	entries := make([]radix.RowEntry, n)
+	m.Add(run(w, w, func(widx int, sc *scratch) {
+		lo, hi := n*widx/w, n*(widx+1)/w
+		for i := lo; i < hi; i++ {
+			entries[i] = radix.RowEntry{H: exec.KeyHash(list.RowValues(i), &sc.ctr), P: int32(i)}
+		}
+	}))
+
+	// Phase 2 — stable radix partition on the hash's top bits.
+	pp := radix.GetRowPartitioner()
+	pe, offs := pp.Partition(entries, pl, m)
+	stats := radix.StatsOf(pl, offs)
+
+	// Phase 3 — partition-local dedup, partitions as morsels. The flat
+	// table stores row indices shifted by one so the zero slot means
+	// empty; rows arrive in ascending index order (stable scatter), so
+	// the first insertion of a key is the serial scan's first occurrence.
+	fanout := pl.Fanout()
+	survivors := make([][]int32, fanout)
+	m.Add(run(w, fanout, func(p int, sc *scratch) {
+		seg := pe[offs[p]:offs[p+1]]
+		if len(seg) == 0 {
+			return
+		}
+		need := 8
+		for need < 2*len(seg) {
+			need <<= 1
+		}
+		slots := make([]radix.RowEntry, need)
+		mask := uint64(need - 1)
+		keep := make([]int32, 0, len(seg))
+		for _, e := range seg {
+			s := e.H & mask
+			dup := false
+			for slots[s].P != 0 {
+				if slots[s].H == e.H &&
+					exec.KeysEqual(list.RowValues(int(slots[s].P-1)), list.RowValues(int(e.P)), &sc.ctr) {
+					dup = true
+					break
+				}
+				s = (s + 1) & mask
+			}
+			if dup {
+				continue
+			}
+			slots[s] = radix.RowEntry{H: e.H, P: e.P + 1}
+			keep = append(keep, e.P)
+		}
+		survivors[p] = keep
+	}))
+	radix.PutRowPartitioner(pp)
+
+	// Phase 4 — restore input order: per-partition survivor lists are
+	// each ascending; one sort over the concatenation restores the
+	// global first-occurrence order, and the output is exact-fit.
+	total := 0
+	for _, s := range survivors {
+		total += len(s)
+	}
+	order := make([]int32, 0, total)
+	for _, s := range survivors {
+		order = append(order, s...)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := storage.MustTempListHint(list.Descriptor(), total)
+	for _, i := range order {
+		out.Append(list.Row(int(i)))
+	}
+	return out, stats
+}

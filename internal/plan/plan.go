@@ -117,6 +117,14 @@ const (
 	JoinHash
 	JoinSortMerge
 	JoinNestedLoops
+	// JoinRadixHash is the cache-conscious upgrade of JoinHash: both
+	// sides radix-partitioned on the join-key hash, each partition pair
+	// joined through a flat L2-resident open-addressing table. Not part
+	// of the paper's §3.3 ordering — the cost-based crossover below
+	// decides when the build is large enough for cache effects to
+	// dominate, and the paper-faithful chained-bucket join runs
+	// otherwise.
+	JoinRadixHash
 )
 
 // String names the method as the paper does.
@@ -132,6 +140,8 @@ func (j JoinMethod) String() string {
 		return "Hash Join"
 	case JoinSortMerge:
 		return "Sort Merge join"
+	case JoinRadixHash:
+		return "Radix Hash Join"
 	default:
 		return "nested loops join"
 	}
@@ -234,6 +244,124 @@ func ChooseWorkers(requested, rows int) int {
 // of a call per tuple. It matches storage.BatchSize (the arena chunk row
 // count), so a temp-list chunk doubles as a scan block.
 const DefaultBatchSize = 256
+
+// RadixConfig parameterizes the cache-conscious radix execution paths.
+// The zero value means "use the defaults" — every field is normalized
+// through withDefaults before use, so callers can set only what they
+// care about.
+type RadixConfig struct {
+	// L2Bytes is the target per-partition working set: the radix plan
+	// fans out until one partition's flat build table (16-byte slots at
+	// load factor 1/2 → 32 bytes per build row) fits in this budget.
+	// Default 256 KiB — a conservative slice of a modern per-core L2.
+	L2Bytes int
+	// EntryBytes is the in-table footprint per build row used by the
+	// sizing model. Default 32 (two 16-byte open-addressing slots).
+	EntryBytes int
+	// MaxPassBits caps one pass's fan-out so the write-combining
+	// staging area and the TLB reach of the scatter stay bounded.
+	// Default 8 (256 partitions per pass).
+	MaxPassBits uint
+	// MaxBits caps the total radix width across passes. Default 14
+	// (16384 partitions) — past that, per-partition bookkeeping beats
+	// the locality it buys.
+	MaxBits uint
+	// MinBuildRows is the crossover below which the paper-faithful
+	// chained-bucket join runs instead: small builds fit in cache
+	// anyway, and §4/§5's reproductions must execute the original
+	// algorithms. Default 131072 rows (≈ 4 MiB of chained table).
+	MinBuildRows int
+}
+
+// Default radix parameters (see RadixConfig field docs).
+const (
+	DefaultRadixL2Bytes      = 256 << 10
+	DefaultRadixEntryBytes   = 32
+	DefaultRadixMaxPassBits  = 8
+	DefaultRadixMaxBits      = 14
+	DefaultRadixMinBuildRows = 128 << 10
+)
+
+// withDefaults fills zero fields with the package defaults.
+func (c RadixConfig) withDefaults() RadixConfig {
+	if c.L2Bytes <= 0 {
+		c.L2Bytes = DefaultRadixL2Bytes
+	}
+	if c.EntryBytes <= 0 {
+		c.EntryBytes = DefaultRadixEntryBytes
+	}
+	if c.MaxPassBits == 0 {
+		c.MaxPassBits = DefaultRadixMaxPassBits
+	}
+	if c.MaxBits == 0 {
+		c.MaxBits = DefaultRadixMaxBits
+	}
+	if c.MaxBits > 16 {
+		c.MaxBits = 16 // the kernel's hard MaxBits cap
+	}
+	if c.MaxPassBits > c.MaxBits {
+		c.MaxPassBits = c.MaxBits
+	}
+	if c.MinBuildRows == 0 {
+		c.MinBuildRows = DefaultRadixMinBuildRows
+	}
+	return c
+}
+
+// ChooseRadixBits is the cost-based pass/bit chooser: given the
+// estimated build cardinality it returns the per-pass radix widths
+// (most significant bits first), or nil when the build is below the
+// crossover and the paper-faithful chained-bucket join should run.
+//
+// The model: the build table costs EntryBytes per row, so fitting one
+// partition in L2Bytes needs a fan-out of buildRows·EntryBytes/L2Bytes,
+// i.e. total bits = ceil(log2(that)), clamped to MaxBits. The bits are
+// split into ceil(total/MaxPassBits) passes of near-equal width so no
+// single scatter fans out past its write-combining budget — each extra
+// pass costs one more sequential sweep over the data (RadixPasses ×
+// rows extra DataMoves), which is why the splitter uses as few passes
+// as the per-pass cap allows.
+func ChooseRadixBits(buildRows int, cfg RadixConfig) []uint {
+	c := cfg.withDefaults()
+	if buildRows < c.MinBuildRows {
+		return nil
+	}
+	return forcedRadixBits(buildRows, c)
+}
+
+// ForceRadixBits sizes a radix plan for the given build cardinality
+// ignoring the crossover — the "always radix" knob. Tiny builds still
+// get a minimal 2-bit plan so the forced path genuinely partitions.
+func ForceRadixBits(buildRows int, cfg RadixConfig) []uint {
+	return forcedRadixBits(buildRows, cfg.withDefaults())
+}
+
+func forcedRadixBits(buildRows int, c RadixConfig) []uint {
+	need := 1
+	if buildRows > 0 {
+		// ceil(buildRows·EntryBytes / L2Bytes)
+		need = (buildRows*c.EntryBytes + c.L2Bytes - 1) / c.L2Bytes
+	}
+	var total uint
+	for 1<<total < need {
+		total++
+	}
+	if total < 2 {
+		total = 2
+	}
+	if total > c.MaxBits {
+		total = c.MaxBits
+	}
+	passes := (total + c.MaxPassBits - 1) / c.MaxPassBits
+	bits := make([]uint, 0, passes)
+	for p := uint(0); p < passes; p++ {
+		// Near-equal split, wider passes first.
+		b := (total + passes - p - 1) / (passes - p)
+		bits = append(bits, b)
+		total -= b
+	}
+	return bits
+}
 
 // ChooseBatchSize resolves the effective block size for a query:
 // requested <= 0 means the default; tiny inputs shrink the block to the

@@ -85,3 +85,66 @@ func TestStringers(t *testing.T) {
 		}
 	}
 }
+
+func TestChooseRadixBits(t *testing.T) {
+	cfg := RadixConfig{}
+	// Below the crossover: the paper-faithful chained-bucket path.
+	if got := ChooseRadixBits(DefaultRadixMinBuildRows-1, cfg); got != nil {
+		t.Fatalf("below crossover chose radix bits %v", got)
+	}
+	sum := func(bits []uint) uint {
+		var s uint
+		for _, b := range bits {
+			s += b
+		}
+		return s
+	}
+	// At 1M build rows × 32 B/row = 32 MiB of table, a 256 KiB target
+	// needs fan-out ≥ 128 → 7 bits, one pass.
+	bits := ChooseRadixBits(1<<20, cfg)
+	if sum(bits) != 7 || len(bits) != 1 {
+		t.Fatalf("1M rows: bits = %v, want one 7-bit pass", bits)
+	}
+	// 1G rows would want 17 bits → clamped to MaxBits 14, split 7+7.
+	bits = ChooseRadixBits(1<<30, cfg)
+	if sum(bits) != DefaultRadixMaxBits || len(bits) != 2 {
+		t.Fatalf("1G rows: bits = %v, want 14 total over 2 passes", bits)
+	}
+	for _, b := range bits {
+		if b > DefaultRadixMaxPassBits {
+			t.Fatalf("pass width %d exceeds cap %d", b, DefaultRadixMaxPassBits)
+		}
+	}
+	// A small L2 target forces multi-pass plans sooner.
+	bits = ChooseRadixBits(1<<20, RadixConfig{L2Bytes: 16 << 10, MaxPassBits: 6})
+	if sum(bits) != 11 || len(bits) != 2 {
+		t.Fatalf("small-L2: bits = %v, want 11 bits over 2 near-equal passes", bits)
+	}
+	if bits[0] != 6 || bits[1] != 5 {
+		t.Fatalf("small-L2 split = %v, want [6 5]", bits)
+	}
+}
+
+func TestForceRadixBits(t *testing.T) {
+	// Forcing radix on a tiny build still partitions (minimum 2 bits).
+	bits := ForceRadixBits(100, RadixConfig{})
+	if len(bits) != 1 || bits[0] != 2 {
+		t.Fatalf("forced tiny build: bits = %v, want [2]", bits)
+	}
+	// And the forced plan matches the chooser's above the crossover.
+	a := ChooseRadixBits(1<<20, RadixConfig{})
+	b := ForceRadixBits(1<<20, RadixConfig{})
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Fatalf("forced %v != chosen %v above crossover", b, a)
+	}
+}
+
+func TestRadixConfigClamps(t *testing.T) {
+	c := RadixConfig{MaxBits: 40, MaxPassBits: 32}.withDefaults()
+	if c.MaxBits != 16 || c.MaxPassBits != 16 {
+		t.Fatalf("withDefaults did not clamp to the kernel cap: %+v", c)
+	}
+	if JoinRadixHash.String() != "Radix Hash Join" {
+		t.Fatalf("JoinRadixHash.String() = %q", JoinRadixHash.String())
+	}
+}

@@ -1,0 +1,180 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestTableInsertProbe(t *testing.T) {
+	var tbl Table
+	tbl.Reset(100)
+	if tbl.Slots() != 256 {
+		t.Fatalf("Reset(100) sized %d slots, want 256 (pow2 ≥ 2·100)", tbl.Slots())
+	}
+	tuples := make([]*storage.Tuple, 100)
+	for i := range tuples {
+		tuples[i] = &storage.Tuple{}
+		tbl.Insert(uint64(i)*0x9e3779b97f4a7c15, tuples[i])
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tbl.Len())
+	}
+	all := func(*storage.Tuple) bool { return true }
+	var out storage.TupleBatch
+	for i := range tuples {
+		out = tbl.ProbeAppend(uint64(i)*0x9e3779b97f4a7c15, all, out[:0])
+		if len(out) != 1 || out[0] != tuples[i] {
+			t.Fatalf("probe %d returned %d matches", i, len(out))
+		}
+	}
+	// Missing hash: no matches.
+	if out = tbl.ProbeAppend(0xffff_ffff_ffff_fffe, all, out[:0]); len(out) != 0 {
+		t.Fatalf("probe of absent hash returned %d matches", len(out))
+	}
+}
+
+// Duplicate hashes (same key several times) must all come back, in
+// insertion order along the probe run.
+func TestTableDuplicates(t *testing.T) {
+	var tbl Table
+	tbl.Reset(10)
+	const h = 0x1234
+	dups := []*storage.Tuple{{}, {}, {}}
+	for _, tp := range dups {
+		tbl.Insert(h, tp)
+	}
+	tbl.Insert(h+1, &storage.Tuple{}) // neighbor in the same probe run
+	all := func(*storage.Tuple) bool { return true }
+	out := tbl.ProbeAppend(h, all, nil)
+	if len(out) != 3 {
+		t.Fatalf("probe returned %d matches, want 3", len(out))
+	}
+	for i, tp := range dups {
+		if out[i] != tp {
+			t.Fatalf("match %d out of insertion order", i)
+		}
+	}
+}
+
+// A degenerate Reset hint smaller than the real cardinality must not
+// overflow or loop: the table grows and stays correct.
+func TestTableGrowsPastUndersizedHint(t *testing.T) {
+	var tbl Table
+	tbl.Reset(2) // 8 slots for what will be 1000 entries
+	tuples := make([]*storage.Tuple, 1000)
+	rng := rand.New(rand.NewSource(7))
+	hashes := make([]uint64, len(tuples))
+	for i := range tuples {
+		tuples[i] = &storage.Tuple{}
+		hashes[i] = rng.Uint64()
+		tbl.Insert(hashes[i], tuples[i])
+	}
+	if tbl.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tbl.Len())
+	}
+	if 2*tbl.Len() > tbl.Slots() {
+		t.Fatalf("load factor above 1/2 after growth: %d entries in %d slots", tbl.Len(), tbl.Slots())
+	}
+	all := func(*storage.Tuple) bool { return true }
+	var out storage.TupleBatch
+	for i := range tuples {
+		out = tbl.ProbeAppend(hashes[i], all, out[:0])
+		found := false
+		for _, m := range out {
+			if m == tuples[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tuple %d lost after growth", i)
+		}
+	}
+}
+
+func TestTableZeroRows(t *testing.T) {
+	var tbl Table
+	tbl.Reset(0)
+	out := tbl.ProbeAppend(42, func(*storage.Tuple) bool { return true }, nil)
+	if len(out) != 0 {
+		t.Fatalf("empty table probe returned %d matches", len(out))
+	}
+}
+
+// Hash-mismatched slots must be rejected without consulting match.
+func TestTableHashFirstFilter(t *testing.T) {
+	var tbl Table
+	tbl.Reset(4)
+	// Two entries that collide on the slot mask but differ in full hash.
+	mask := uint64(tbl.Slots() - 1)
+	h1 := uint64(5)
+	h2 := h1 + (mask + 1) // same low bits, different hash
+	tbl.Insert(h1, &storage.Tuple{})
+	tbl.Insert(h2, &storage.Tuple{})
+	calls := 0
+	out := tbl.ProbeAppend(h1, func(*storage.Tuple) bool { calls++; return true }, nil)
+	if len(out) != 1 {
+		t.Fatalf("probe returned %d matches, want 1", len(out))
+	}
+	if calls != 1 {
+		t.Fatalf("match consulted %d times, want 1 (hash filter must reject the collision)", calls)
+	}
+}
+
+// The probe loop must be zero-alloc with a warm table and a roomy
+// caller buffer — the join's steady state.
+func TestTableProbeZeroAlloc(t *testing.T) {
+	tbl := GetTable()
+	tbl.Reset(1024)
+	hashes := make([]uint64, 1024)
+	rng := rand.New(rand.NewSource(8))
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+		tbl.Insert(hashes[i], &storage.Tuple{})
+	}
+	all := func(*storage.Tuple) bool { return true }
+	out := storage.GetBatch()
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, h := range hashes {
+			out = tbl.ProbeAppend(h, all, out[:0])
+		}
+	})
+	storage.PutBatch(out)
+	PutTable(tbl)
+	if allocs != 0 {
+		t.Fatalf("warm probe loop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Pooled tables must not pin tuples: Put clears every slot.
+func TestPutTableClears(t *testing.T) {
+	tbl := GetTable()
+	tbl.Reset(8)
+	tbl.Insert(1, &storage.Tuple{})
+	PutTable(tbl)
+	for _, e := range tbl.slots[:cap(tbl.slots)] {
+		if e.P != nil {
+			t.Fatal("PutTable left a live tuple pointer in the pool")
+		}
+	}
+}
+
+func BenchmarkTableProbe(b *testing.B) {
+	var tbl Table
+	n := 1 << 16
+	tbl.Reset(n)
+	rng := rand.New(rand.NewSource(9))
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+		tbl.Insert(hashes[i], &storage.Tuple{})
+	}
+	all := func(*storage.Tuple) bool { return true }
+	out := make(storage.TupleBatch, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = tbl.ProbeAppend(hashes[i&(n-1)], all, out[:0])
+	}
+}

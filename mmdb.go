@@ -30,6 +30,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/recovery"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -84,7 +85,45 @@ type Options struct {
 	// ANALYZE. Pooled blocks are physically plan.DefaultBatchSize;
 	// smaller settings simply stop filling blocks early.
 	BatchSize int
+	// JoinMethod selects how hash-based joins (and radix-eligible
+	// DISTINCTs) execute: JoinAuto (default) lets the cost-based
+	// chooser upgrade to the cache-conscious radix paths above the
+	// crossover, JoinChained pins the paper-faithful chained-bucket
+	// algorithms, JoinRadix forces radix whenever legal.
+	// Query.JoinMethod overrides it per query.
+	JoinMethod JoinStrategy
+	// Radix tunes the radix execution paths: target per-partition cache
+	// footprint, per-pass fan-out caps, and the build-size crossover
+	// below which the paper's original algorithms always run. The zero
+	// value uses the plan package defaults.
+	Radix RadixConfig
 }
+
+// JoinStrategy selects between the paper-faithful chained-bucket hash
+// join and the cache-conscious radix hash join for equijoins that have
+// to build their own hash table (an existing hash index is always
+// probed directly regardless).
+type JoinStrategy int
+
+// Join strategies for Options.JoinMethod / Query.JoinMethod.
+const (
+	// JoinAuto applies the cost-based crossover: radix when the build
+	// side is large enough that cache misses dominate
+	// (plan.ChooseRadixBits), the §3.3 chained-bucket join otherwise —
+	// so the paper-scale reproductions always run the original
+	// algorithms.
+	JoinAuto JoinStrategy = iota
+	// JoinChained always runs the paper-faithful chained-bucket hash
+	// join (and the serial/partitioned §3.4 DISTINCT).
+	JoinChained
+	// JoinRadix forces the radix paths whenever legal (equijoin
+	// without an early-exit limit), sizing a minimal plan even for
+	// builds below the crossover.
+	JoinRadix
+)
+
+// RadixConfig tunes the radix execution paths; see plan.RadixConfig.
+type RadixConfig = plan.RadixConfig
 
 // Database is a main-memory database: a set of tables, a partition-level
 // lock manager, and (optionally) the recovery machinery.

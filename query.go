@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/plan"
+	"repro/internal/radix"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -45,7 +46,8 @@ type Query struct {
 	join     *qjoin
 	cols     []string
 	distinct bool
-	par      int // requested parallelism; 0 = database default
+	par      int           // requested parallelism; 0 = database default
+	strategy *JoinStrategy // per-query Options.JoinMethod override
 	err      error
 	// forceJoin overrides the planner's join choice — a testing hook that
 	// lets trace tests exercise methods the preference ordering would not
@@ -171,6 +173,42 @@ func (q *Query) parallelism() int {
 		return q.par
 	}
 	return parallel.Degree(q.db.opts.Parallelism)
+}
+
+// JoinMethod overrides Options.JoinMethod for this query: JoinAuto
+// applies the cost-based chained-vs-radix crossover, JoinChained pins
+// the paper-faithful algorithms, JoinRadix forces the cache-conscious
+// radix paths whenever legal. It affects hash joins that build their
+// own table (an existing hash index is always probed directly) and
+// DISTINCT.
+func (q *Query) JoinMethod(s JoinStrategy) *Query {
+	q.strategy = &s
+	return q
+}
+
+// joinStrategy resolves the effective strategy: per-query override,
+// else the database default.
+func (q *Query) joinStrategy() JoinStrategy {
+	if q.strategy != nil {
+		return *q.strategy
+	}
+	return q.db.opts.JoinMethod
+}
+
+// radixBits resolves the radix plan for an operator that would build a
+// transient hash structure over buildRows rows. nil means "run the
+// paper's original algorithm" — always the answer under JoinChained,
+// and under JoinAuto whenever the build fits comfortably in cache
+// (plan.ChooseRadixBits's crossover).
+func (q *Query) radixBits(buildRows int) []uint {
+	switch q.joinStrategy() {
+	case JoinChained:
+		return nil
+	case JoinRadix:
+		return plan.ForceRadixBits(buildRows, q.db.opts.Radix)
+	default:
+		return plan.ChooseRadixBits(buildRows, q.db.opts.Radix)
+	}
 }
 
 // Result is a query result: a temporary list of tuple pointers plus the
@@ -341,12 +379,18 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 		if analyze {
 			now := time.Now()
-			root.Add(&obs.TraceNode{
+			node := &obs.TraceNode{
 				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
 				AccessPath: jr.method.String(),
 				RowsIn:     jr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
 				Workers:    jr.workers,
-			})
+			}
+			if jr.radix.Fanout > 0 {
+				node.RadixPasses = jr.radix.Passes
+				node.Partitions = jr.radix.Fanout
+				node.PartitionSkew = jr.radix.Skew()
+			}
+			root.Add(node)
 			t0 = now
 		}
 	}
@@ -376,7 +420,13 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 		preDistinct := list.Len()
 		distinctWorkers := plan.ChooseWorkers(q.parallelism(), list.Len())
-		if distinctWorkers > 1 {
+		distinctPath := "hash duplicate elimination"
+		var dstats radix.Stats
+		if dbits := q.radixBits(list.Len()); dbits != nil {
+			list, dstats = parallel.RadixProjectHash(list, mp, distinctWorkers, dbits)
+			distinctPath = "radix-partitioned hash duplicate elimination"
+			planNotes = append(planNotes, "distinct: "+distinctPath)
+		} else if distinctWorkers > 1 {
 			list = parallel.ProjectHash(list, mp, distinctWorkers)
 			planNotes = append(planNotes,
 				fmt.Sprintf("distinct: partitioned hash duplicate elimination (%d workers)", distinctWorkers))
@@ -389,11 +439,17 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 		if analyze {
 			now := time.Now()
-			root.Add(&obs.TraceNode{
-				Op: "distinct", AccessPath: "hash duplicate elimination",
+			node := &obs.TraceNode{
+				Op: "distinct", AccessPath: distinctPath,
 				RowsIn: preDistinct, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: dupMeter,
 				Workers: distinctWorkers,
-			})
+			}
+			if dstats.Fanout > 0 {
+				node.RadixPasses = dstats.Passes
+				node.Partitions = dstats.Fanout
+				node.PartitionSkew = dstats.Skew()
+			}
+			root.Add(node)
 		}
 	}
 
@@ -674,6 +730,7 @@ type joinExec struct {
 	workers      int    // parallel join workers (0 or 1 = serial)
 	probeKind    string // inner index structure probed ("" when none)
 	probes       int64
+	radix        radix.Stats // radix partitioning stats (zero unless radix ran)
 }
 
 // runJoin joins the selection result (left) with the join table (right).
@@ -715,6 +772,19 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 			out.list = exec.HashJoinExisting(outer, jp.innerHash.hashed, spec)
 			out.innerScanned = out.list.Len()
 			out.probeKind, out.probes = jp.innerHash.kind.String(), int64(outer.Len())
+		} else if bits := q.radixBits(innerCard); bits != nil {
+			// Cache-conscious upgrade: the build side is large enough that
+			// partitioning both sides to L2-resident pieces beats one big
+			// chained table. Runs even at one worker — the cache behavior,
+			// not the parallelism, is the point.
+			w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard)
+			spec.Parallelism = w
+			out.method = plan.JoinRadixHash
+			out.workers = w
+			out.list, out.radix = parallel.RadixHashJoin(
+				parallel.ListSource{List: left, Column: 0},
+				parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
+			out.innerScanned = innerCard // partition pass scans the inner relation
 		} else {
 			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
 				spec.Parallelism = w
@@ -727,6 +797,17 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 			}
 			out.innerScanned = innerCard // build pass scans the inner relation
 		}
+	case plan.JoinRadixHash:
+		// Reached only via the forceJoin test hook or a forced strategy:
+		// size a minimal radix plan regardless of the crossover.
+		bits := plan.ForceRadixBits(innerCard, q.db.opts.Radix)
+		w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard)
+		spec.Parallelism = w
+		out.workers = w
+		out.list, out.radix = parallel.RadixHashJoin(
+			parallel.ListSource{List: left, Column: 0},
+			parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
+		out.innerScanned = innerCard
 	case plan.JoinSortMerge:
 		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
 			spec.Parallelism = w

@@ -1,0 +1,171 @@
+package mmdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRadixJoinMatchesChained: forcing the cache-conscious radix hash
+// join must yield exactly the paper-faithful chained-bucket join's
+// result multiset, and EXPLAIN ANALYZE must attribute the method and
+// its partitioning stats.
+func TestRadixJoinMatchesChained(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{}, rows)
+	mk := func(s JoinStrategy) *Query {
+		return db.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k").
+			Select("a.id", "b.id").Parallel(4).JoinMethod(s)
+	}
+
+	chained, trc, err := mk(JoinChained).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, trr, err := mk(JoinRadix).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, "radix-vs-chained", multiset(t, chained), multiset(t, radix))
+
+	var cj, rj *TraceNode
+	for _, n := range trc.Root.Children {
+		if n.Op == "join" {
+			cj = n
+		}
+	}
+	for _, n := range trr.Root.Children {
+		if n.Op == "join" {
+			rj = n
+		}
+	}
+	if cj == nil || cj.AccessPath != "Hash Join" {
+		t.Fatalf("chained join node = %+v, want Hash Join", cj)
+	}
+	if cj.Partitions != 0 {
+		t.Fatalf("chained join reports radix partitions: %+v", cj)
+	}
+	if rj == nil || rj.AccessPath != "Radix Hash Join" {
+		t.Fatalf("radix join node = %+v, want Radix Hash Join", rj)
+	}
+	if rj.RadixPasses < 1 || rj.Partitions < 4 || rj.PartitionSkew <= 0 {
+		t.Fatalf("radix join stats missing: passes=%d parts=%d skew=%v",
+			rj.RadixPasses, rj.Partitions, rj.PartitionSkew)
+	}
+	if rj.Ops.RadixPasses == 0 || rj.Ops.Partitions == 0 {
+		t.Fatalf("radix join §3.1 counters not folded: %+v", rj.Ops)
+	}
+	if !strings.Contains(trr.Format(), "radix: passes=") {
+		t.Fatalf("formatted trace missing radix line:\n%s", trr.Format())
+	}
+	if !strings.Contains(radix.Plan(), "Radix Hash Join") {
+		t.Fatalf("executed plan missing radix method:\n%s", radix.Plan())
+	}
+}
+
+// TestRadixDistinctMatchesChained: the forced radix DISTINCT must keep
+// exactly the rows the serial §3.4 operator keeps, and the trace must
+// attribute the radix path.
+func TestRadixDistinctMatchesChained(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{}, rows)
+	mk := func(s JoinStrategy) *Query {
+		return db.Query("a").Select("k").Distinct().Parallel(4).JoinMethod(s)
+	}
+	chained, err := mk(JoinChained).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, tr, err := mk(JoinRadix).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radix.Len() != 97 || chained.Len() != 97 {
+		t.Fatalf("distinct kept %d/%d rows, want 97", radix.Len(), chained.Len())
+	}
+	sameMultiset(t, "distinct", multiset(t, chained), multiset(t, radix))
+	var dn *TraceNode
+	for _, n := range tr.Root.Children {
+		if n.Op == "distinct" {
+			dn = n
+		}
+	}
+	if dn == nil || dn.AccessPath != "radix-partitioned hash duplicate elimination" {
+		t.Fatalf("distinct node = %+v", dn)
+	}
+	if dn.Partitions < 4 || dn.RadixPasses < 1 {
+		t.Fatalf("distinct radix stats missing: %+v", dn)
+	}
+}
+
+// TestJoinAutoCrossover: under JoinAuto the chooser must keep
+// paper-scale builds on the original chained algorithm and upgrade to
+// radix only past the configured crossover — here lowered so the same
+// 6000-row build flips sides.
+func TestJoinAutoCrossover(t *testing.T) {
+	const rows = 12000
+	below := openBig(t, Options{}, rows) // default crossover: 128Ki rows ≫ build
+	_, tr, err := below.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k").Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Format(), "Hash Join") || strings.Contains(tr.Format(), "Radix") {
+		t.Fatalf("below crossover should run chained Hash Join:\n%s", tr.Format())
+	}
+
+	above := openBig(t, Options{Radix: RadixConfig{MinBuildRows: 1}}, rows)
+	_, tr2, err := above.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k").Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr2.Format(), "Radix Hash Join") {
+		t.Fatalf("above crossover should upgrade to radix:\n%s", tr2.Format())
+	}
+}
+
+// TestJoinMethodDatabaseDefault: Options.JoinMethod reaches every query
+// without a per-query call, and the per-query knob overrides it both
+// ways.
+func TestJoinMethodDatabaseDefault(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{JoinMethod: JoinRadix}, rows)
+	q := func() *Query {
+		return db.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k")
+	}
+	_, tr, err := q().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Format(), "Radix Hash Join") {
+		t.Fatalf("database default JoinRadix ignored:\n%s", tr.Format())
+	}
+	_, tr2, err := q().JoinMethod(JoinChained).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tr2.Format(), "Radix") {
+		t.Fatalf("per-query JoinChained did not override:\n%s", tr2.Format())
+	}
+}
+
+// TestRadixJoinSerialWorker: JoinRadix at Parallel(1) still runs the
+// partitioned algorithm (serially) and still matches the serial join.
+func TestRadixJoinSerialWorker(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{}, rows)
+	mk := func(s JoinStrategy) *Query {
+		return db.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k").
+			Select("a.id", "b.id").Parallel(1).JoinMethod(s)
+	}
+	serial, err := mk(JoinChained).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, tr, err := mk(JoinRadix).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, "serial-radix", multiset(t, serial), multiset(t, radix))
+	if !strings.Contains(tr.Format(), "Radix Hash Join") {
+		t.Fatalf("Parallel(1) JoinRadix did not run radix:\n%s", tr.Format())
+	}
+}
