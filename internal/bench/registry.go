@@ -25,6 +25,7 @@ var All = []Experiment{
 	{ID: "parallel", Exhibit: "Extension — partition-parallel operator sweep", Run: ParallelJoinSweep},
 	{ID: "batch", Exhibit: "Extension — tuple-at-a-time vs batch-at-a-time execution", Run: BatchExecution},
 	{ID: "radix", Exhibit: "Extension — chained vs cache-conscious radix hash join", Run: RadixJoinSweep},
+	{ID: "sort", Exhibit: "Extension — comparator vs normalized-key radix sort engine", Run: SortEngineSweep},
 }
 
 // ByID resolves an experiment.

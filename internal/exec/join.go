@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/index"
 	"repro/internal/meter"
+	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 
@@ -38,6 +39,12 @@ type JoinSpec struct {
 	// Hint, when positive, is the expected result cardinality; the output
 	// list is presized so no chunk growth happens while the join emits.
 	Hint int
+	// SortMethod selects the sort substrate for the Sort Merge join's
+	// array builds. The zero value (plan.SortQuick) keeps the faithful
+	// §3.1 comparator quicksort; plan.SortRadixKey routes the builds
+	// through the normalized-key radix kernel (internal/sortkey). The
+	// merge phase is identical either way.
+	SortMethod plan.SortMethod
 }
 
 // emitter materializes (or merely counts) join result rows.
@@ -222,8 +229,12 @@ func TreeJoin(outer Source, inner tupleindex.Ordered, spec JoinSpec) *storage.Te
 // on both join columns (append + quicksort with the insertion-sort
 // cutoff), then merge. The build cost is part of the method.
 func SortMergeJoin(outer, inner Source, spec JoinSpec) *storage.TempList {
-	ao := tupleindex.BuildArray(tupleindex.Options{Field: spec.OuterField, Meter: spec.Meter}, Tuples(outer))
-	ai := tupleindex.BuildArray(tupleindex.Options{Field: spec.InnerField, Meter: spec.Meter}, Tuples(inner))
+	build := tupleindex.BuildArray
+	if spec.SortMethod == plan.SortRadixKey {
+		build = tupleindex.BuildArrayRadix
+	}
+	ao := build(tupleindex.Options{Field: spec.OuterField, Meter: spec.Meter}, Tuples(outer))
+	ai := build(tupleindex.Options{Field: spec.InnerField, Meter: spec.Meter}, Tuples(inner))
 	return MergeJoinArrays(ao, ai, spec)
 }
 

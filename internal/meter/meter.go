@@ -39,6 +39,9 @@ type Counters struct {
 	Batches      int64 // tuple-pointer blocks handed between operators
 	RadixPasses  int64 // radix partitioning passes executed
 	Partitions   int64 // radix partitions produced (fan-out total)
+	SortPasses   int64 // radix-sort scatter passes executed
+	SortRuns     int64 // comparator-sorted runs (small runs + tie-breaks)
+	KeyBytes     int64 // normalized sort-key bytes encoded
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -111,6 +114,33 @@ func (c *Counters) AddPartition(n int64) {
 	}
 }
 
+// AddSortPass records n radix-sort scatter passes. Each pass streams one
+// key range through the write-combining scatter once, so SortPasses×rows
+// approximates the extra sequential data movement the normalized-key sort
+// trades for the comparator calls it removes. Safe on a nil receiver.
+func (c *Counters) AddSortPass(n int64) {
+	if c != nil {
+		c.SortPasses += n
+	}
+}
+
+// AddSortRun records n comparator-sorted runs: short partitions the MSD
+// radix sort hands to insertion/quicksort, plus equal-prefix runs that
+// needed a comparator tie-break. Safe on a nil receiver.
+func (c *Counters) AddSortRun(n int64) {
+	if c != nil {
+		c.SortRuns += n
+	}
+}
+
+// AddKeyBytes records n bytes of normalized sort keys encoded. Safe on a
+// nil receiver.
+func (c *Counters) AddKeyBytes(n int64) {
+	if c != nil {
+		c.KeyBytes += n
+	}
+}
+
 // Reset zeroes every counter. Safe on a nil receiver.
 func (c *Counters) Reset() {
 	if c != nil {
@@ -132,6 +162,9 @@ func (c *Counters) Add(other Counters) {
 	c.Batches += other.Batches
 	c.RadixPasses += other.RadixPasses
 	c.Partitions += other.Partitions
+	c.SortPasses += other.SortPasses
+	c.SortRuns += other.SortRuns
+	c.KeyBytes += other.KeyBytes
 }
 
 // String renders the counters in a compact single line.
@@ -139,7 +172,7 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "meter(nil)"
 	}
-	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d rpass=%d part=%d",
+	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d rpass=%d part=%d spass=%d srun=%d keyB=%d",
 		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations, c.Batches,
-		c.RadixPasses, c.Partitions)
+		c.RadixPasses, c.Partitions, c.SortPasses, c.SortRuns, c.KeyBytes)
 }

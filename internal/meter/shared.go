@@ -23,6 +23,9 @@ type SharedCounters struct {
 	batches      atomic.Int64
 	radixPasses  atomic.Int64
 	partitions   atomic.Int64
+	sortPasses   atomic.Int64
+	sortRuns     atomic.Int64
+	keyBytes     atomic.Int64
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -88,6 +91,28 @@ func (c *SharedCounters) AddPartition(n int64) {
 	}
 }
 
+// AddSortPass records n radix-sort scatter passes. Safe on a nil receiver.
+func (c *SharedCounters) AddSortPass(n int64) {
+	if c != nil {
+		c.sortPasses.Add(n)
+	}
+}
+
+// AddSortRun records n comparator-sorted runs. Safe on a nil receiver.
+func (c *SharedCounters) AddSortRun(n int64) {
+	if c != nil {
+		c.sortRuns.Add(n)
+	}
+}
+
+// AddKeyBytes records n normalized sort-key bytes encoded. Safe on a nil
+// receiver.
+func (c *SharedCounters) AddKeyBytes(n int64) {
+	if c != nil {
+		c.keyBytes.Add(n)
+	}
+}
+
 // Add atomically folds a finished operator's private Counters into the
 // shared accumulator. Safe on a nil receiver.
 func (c *SharedCounters) Add(other Counters) {
@@ -103,6 +128,9 @@ func (c *SharedCounters) Add(other Counters) {
 	c.batches.Add(other.Batches)
 	c.radixPasses.Add(other.RadixPasses)
 	c.partitions.Add(other.Partitions)
+	c.sortPasses.Add(other.SortPasses)
+	c.sortRuns.Add(other.SortRuns)
+	c.keyBytes.Add(other.KeyBytes)
 }
 
 // Reset zeroes every counter. Safe on a nil receiver. Not atomic with
@@ -120,6 +148,9 @@ func (c *SharedCounters) Reset() {
 	c.batches.Store(0)
 	c.radixPasses.Store(0)
 	c.partitions.Store(0)
+	c.sortPasses.Store(0)
+	c.sortRuns.Store(0)
+	c.keyBytes.Store(0)
 }
 
 // Snapshot returns a point-in-time copy as a plain Counters value. Safe on
@@ -138,6 +169,9 @@ func (c *SharedCounters) Snapshot() Counters {
 		Batches:      c.batches.Load(),
 		RadixPasses:  c.radixPasses.Load(),
 		Partitions:   c.partitions.Load(),
+		SortPasses:   c.sortPasses.Load(),
+		SortRuns:     c.sortRuns.Load(),
+		KeyBytes:     c.keyBytes.Load(),
 	}
 }
 

@@ -124,6 +124,11 @@ func (n *TraceNode) Line() string {
 	if n.Partitions > 0 {
 		fmt.Fprintf(&b, "  radix: passes=%d parts=%d skew=%.2f", n.RadixPasses, n.Partitions, n.PartitionSkew)
 	}
+	if n.Ops.SortPasses > 0 || n.Ops.SortRuns > 0 {
+		// The normalized-key sort kernel ran inside this operator:
+		// scatter passes, comparator-sorted runs, and key bytes encoded.
+		fmt.Fprintf(&b, "  sort: passes=%d runs=%d keyB=%d", n.Ops.SortPasses, n.Ops.SortRuns, n.Ops.KeyBytes)
+	}
 	if n.Ops != (meter.Counters{}) {
 		fmt.Fprintf(&b, "  [%s]", compactOps(n.Ops))
 	}
@@ -147,6 +152,9 @@ func compactOps(c meter.Counters) string {
 	add("batch", c.Batches)
 	add("rpass", c.RadixPasses)
 	add("part", c.Partitions)
+	add("spass", c.SortPasses)
+	add("srun", c.SortRuns)
+	add("keyB", c.KeyBytes)
 	if len(parts) == 0 {
 		return "no ops"
 	}

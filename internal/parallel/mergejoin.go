@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/meter"
+	"repro/internal/plan"
+	"repro/internal/sortutil"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -61,8 +63,15 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 			results[r] = storage.MustTempList(desc)
 			return
 		}
-		ao := tupleindex.BuildArray(tupleindex.Options{Field: fo, Meter: &sc.ctr}, outerRun)
-		ai := tupleindex.BuildArray(tupleindex.Options{Field: fi, Meter: &sc.ctr}, innerRun)
+		// Run formation uses the spec's sort substrate: the faithful
+		// append+quicksort build, or the normalized-key radix kernel when
+		// the planner (or the SortMethod knob) selected it.
+		build := tupleindex.BuildArray
+		if spec.SortMethod == plan.SortRadixKey {
+			build = tupleindex.BuildArrayRadix
+		}
+		ao := build(tupleindex.Options{Field: fo, Meter: &sc.ctr}, outerRun)
+		ai := build(tupleindex.Options{Field: fi, Meter: &sc.ctr}, innerRun)
 		sub := spec
 		sub.Meter = &sc.ctr
 		sub.RowsOut = &counts[r]
@@ -93,10 +102,11 @@ func sampleSplitters(tuples []*storage.Tuple, field, w int, m *meter.Counters) [
 	for s := 0; s < samples; s++ {
 		keys = append(keys, tupleindex.KeyOf(tuples[len(tuples)*s/samples], field))
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		m.AddCompare(1)
-		return storage.Compare(keys[i], keys[j]) < 0
-	})
+	// The splitter sort runs through the metered sort substrate so its
+	// comparisons land in the same §3.1 counters as every other sort —
+	// an unmetered sort.Slice here made EXPLAIN ANALYZE under-report the
+	// MPSM join's comparison count by the sample-sort work.
+	sortutil.SortMetered(keys, storage.Compare, m)
 	splitters := make([]storage.Value, 0, w-1)
 	for r := 1; r < w; r++ {
 		k := keys[len(keys)*r/w]

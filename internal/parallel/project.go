@@ -1,7 +1,7 @@
 package parallel
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/exec"
 	"repro/internal/meter"
@@ -105,7 +105,10 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 	for _, s := range survivors {
 		order = append(order, s...)
 	}
-	sort.Ints(order)
+	// slices.Sort on the plain int slice: no comparator closure, no
+	// interface-header allocation on this hot merge path (the old
+	// sort.Ints boxed the slice through sort.Interface).
+	slices.Sort(order)
 	// The survivor count is known exactly here, so the output list is
 	// presized and never grows while emitting.
 	out := storage.MustTempListHint(list.Descriptor(), total)

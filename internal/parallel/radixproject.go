@@ -2,7 +2,7 @@ package parallel
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/exec"
 	"repro/internal/meter"
@@ -97,7 +97,9 @@ func RadixProjectHash(list *storage.TempList, m *meter.Counters, workers int, bi
 	for _, s := range survivors {
 		order = append(order, s...)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	// slices.Sort on the plain int32 slice: the old sort.Slice paid a
+	// closure call per comparison plus an interface-header allocation.
+	slices.Sort(order)
 	out := storage.MustTempListHint(list.Descriptor(), total)
 	for _, i := range order {
 		out.Append(list.Row(int(i)))

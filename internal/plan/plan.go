@@ -363,6 +363,98 @@ func forcedRadixBits(buildRows int, c RadixConfig) []uint {
 	return bits
 }
 
+// SortMethod is a sort-substrate strategy for the sort-based operators
+// (Sort Merge join array builds, Sort Scan duplicate elimination, MPSM
+// run formation, bulk index builds).
+type SortMethod int
+
+const (
+	// SortQuick is the paper-faithful §3.1 comparator quicksort with the
+	// insertion-sort cutoff — the zero value, so every path that does not
+	// opt in keeps the exact algorithm (and §3.1 operation counts) the
+	// paper measured.
+	SortQuick SortMethod = iota
+	// SortRadixKey is the cache-conscious upgrade: encode each sort key
+	// into a fixed-width order-preserving binary prefix (internal/sortkey)
+	// and MSD-radix-sort the (prefix, pointer) pairs through write-
+	// combining scatter buffers, falling back to comparator sorting on
+	// short runs and equal-prefix ties. Same output order, different
+	// work: sequential byte scatter instead of N·log N indirect
+	// comparator calls.
+	SortRadixKey
+)
+
+// String names the sort method.
+func (s SortMethod) String() string {
+	switch s {
+	case SortRadixKey:
+		return "radix-key sort"
+	default:
+		return "quicksort"
+	}
+}
+
+// SortConfig parameterizes the sort-method crossover. The zero value
+// means "all defaults"; it is passed through withDefaults before use.
+type SortConfig struct {
+	// MinRows is the input cardinality below which the comparator
+	// quicksort runs: small sorts are cache-resident either way, the
+	// radix kernel's key-encoding sweep and 256-bucket scatter setup
+	// don't pay for themselves, and — deliberately — the paper-scale
+	// exhibits (≤30k tuples) stay on the faithful §3.1 algorithm.
+	MinRows int
+	// PrefixBytes is the decisive-prefix width assumed by the crossover;
+	// keys wider than this (composite keys, long strings) pay comparator
+	// tie-breaks on equal prefixes, so the crossover doubles.
+	PrefixBytes int
+	// RunCutoff is the kernel's comparator-fallback run length,
+	// surfaced for documentation; the kernel's own constant governs.
+	RunCutoff int
+}
+
+// Default sort-crossover parameters (see SortConfig field docs).
+const (
+	DefaultSortMinRows     = 64 << 10
+	DefaultSortPrefixBytes = 8
+	DefaultSortRunCutoff   = 64
+)
+
+func (c SortConfig) withDefaults() SortConfig {
+	if c.MinRows == 0 {
+		c.MinRows = DefaultSortMinRows
+	}
+	if c.PrefixBytes == 0 {
+		c.PrefixBytes = DefaultSortPrefixBytes
+	}
+	if c.RunCutoff == 0 {
+		c.RunCutoff = DefaultSortRunCutoff
+	}
+	return c
+}
+
+// ChooseSortMethod picks the sort substrate for a sort of rows elements
+// whose encoded keys are keyBytes wide (8 for every fixed-width single
+// column; larger for composite keys and the crossover treats them as
+// tie-break-heavy). The model mirrors ChooseRadixBits: below the
+// crossover the comparator quicksort is cache-resident and unbeatable,
+// above it the radix kernel's ~1 scatter pass per populated prefix byte
+// replaces N·log N indirect comparator calls. Paper-scale inputs (the
+// exhibits top out at 30k tuples) always land on SortQuick, keeping the
+// faithful §3.1 path byte-identical.
+func ChooseSortMethod(rows, keyBytes int, cfg SortConfig) SortMethod {
+	c := cfg.withDefaults()
+	min := c.MinRows
+	if keyBytes > c.PrefixBytes {
+		// Wide keys tie-break through the comparator on every equal
+		// prefix; demand a bigger input before switching.
+		min *= 2
+	}
+	if rows < min {
+		return SortQuick
+	}
+	return SortRadixKey
+}
+
 // ChooseBatchSize resolves the effective block size for a query:
 // requested <= 0 means the default; tiny inputs shrink the block to the
 // input size so a two-row query does not carry a 256-slot block around.

@@ -1,0 +1,223 @@
+// Package sortkey implements order-preserving binary sort keys and a
+// cache-conscious sort kernel over them.
+//
+// The paper's sort-based operators (§3.1 Sort Scan projection, §3.3 Sort
+// Merge join) drive a comparator quicksort: every comparison is an
+// indirect call into storage.Compare on boxed Values. That was the right
+// shape for a 1986 VAX; on a modern memory hierarchy the comparator's
+// unpredictable branches and pointer chases dominate. The normalized-key
+// technique — encode each value into bytes whose memcmp order equals the
+// value order, then sort fixed-width prefixes of those bytes with an MSD
+// radix sort — replaces per-comparison indirect calls with sequential
+// byte scatter, the same trade the radix hash join made for probes.
+//
+// The invariant the whole package rests on:
+//
+//	bytes.Compare(Append(nil, a), Append(nil, b)) == sign(storage.Compare(a, b))
+//
+// for every pair (a, b) that storage.Compare accepts (same type, or
+// either null — cross-type comparisons panic there and are meaningless
+// here). A fuzz test checks the property over the full value domain,
+// including NaN floats, signed zeros, empty/prefix strings, and strings
+// with embedded zero bytes.
+package sortkey
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// PrefixBytes is the fixed key-prefix width the sort kernel orders by:
+// one uint64 per entry, the cache-friendly unit the MSD radix sort
+// scatters on.
+const PrefixBytes = 8
+
+// Type tags. Each encoded key starts with one tag byte; tags are ordered
+// so that null sorts before every non-null value, matching
+// storage.Compare's null-first rule. Values of different non-null types
+// never meet in a comparison (storage.Compare panics on mixed types), so
+// the relative order of the non-null tags is arbitrary — they only need
+// to be distinct so decoding is unambiguous and equal keys imply equal
+// tags.
+const (
+	tagNull  = 0x00
+	tagInt   = 0x01
+	tagFloat = 0x02
+	tagStr   = 0x03
+	tagBool  = 0x04
+	tagRef   = 0x05
+)
+
+// String escape bytes: a zero byte inside the string becomes
+// {0x00, 0xFF}; the terminator is {0x00, 0x01}. Any real continuation
+// byte after 0x00 is 0xFF > 0x01, so a string that continues past a zero
+// byte sorts after the string that ends there — exactly the semantics of
+// bytes.Compare on the raw strings, where a prefix sorts first.
+const (
+	strEscape     = 0xFF
+	strTerminator = 0x01
+)
+
+// Append appends the order-preserving encoding of v to dst and returns
+// the extended slice. Fixed-width types encode as tag + big-endian
+// payload; strings are zero-escaped and zero-terminated so encodings are
+// self-delimiting inside composite keys.
+func Append(dst []byte, v storage.Value) []byte {
+	switch v.Type() {
+	case storage.Null:
+		return append(dst, tagNull)
+	case storage.Int:
+		dst = append(dst, tagInt)
+		return binary.BigEndian.AppendUint64(dst, normInt(v.Int()))
+	case storage.Float:
+		dst = append(dst, tagFloat)
+		return binary.BigEndian.AppendUint64(dst, normFloat(v.Float()))
+	case storage.Str:
+		dst = append(dst, tagStr)
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			b := s[i]
+			if b == 0x00 {
+				dst = append(dst, 0x00, strEscape)
+			} else {
+				dst = append(dst, b)
+			}
+		}
+		return append(dst, 0x00, strTerminator)
+	case storage.Bool:
+		if v.Bool() {
+			return append(dst, tagBool, 1)
+		}
+		return append(dst, tagBool, 0)
+	case storage.Ref:
+		dst = append(dst, tagRef)
+		return binary.BigEndian.AppendUint64(dst, v.Ref().ID())
+	default:
+		panic("sortkey: unknown value type")
+	}
+}
+
+// AppendKey appends the composite encoding of key to dst: the
+// concatenation of each entry's encoding. Because every entry's encoding
+// is self-delimiting (fixed width, or zero-terminated for strings), the
+// concatenation preserves the lexicographic entry-by-entry order that
+// exec.keysCompare implements with storage.Compare.
+func AppendKey(dst []byte, key []storage.Value) []byte {
+	for _, v := range key {
+		dst = Append(dst, v)
+	}
+	return dst
+}
+
+// normInt maps an int64 onto a uint64 whose unsigned order equals the
+// signed order: flip the sign bit.
+func normInt(x int64) uint64 {
+	return uint64(x) ^ (1 << 63)
+}
+
+// normFloat maps a float64 onto a uint64 whose unsigned order equals
+// storage.Compare's total order on floats: -0 == +0, NaN sorts after
+// every number and equal to itself.
+//
+// The classic trick: for non-negative floats the IEEE bit pattern is
+// already ordered, so set the sign bit to lift them above the negatives;
+// for negative floats the bit pattern is reverse-ordered, so flip all
+// bits. Canonicalizing -0 to +0 and every NaN to the positive quiet NaN
+// pattern (0x7FF8…, which maps above +Inf) matches cmpFloat exactly.
+func normFloat(f float64) uint64 {
+	if f != f { // NaN: canonical pattern sorts after +Inf, equal to itself
+		return math.Float64bits(math.NaN()) | (1 << 63)
+	}
+	if f == 0 { // -0 and +0 encode identically
+		return 1 << 63
+	}
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+// Prefix returns the fixed-width sort prefix for a single-column key: a
+// uint64 whose unsigned order respects storage.Compare order, and a flag
+// reporting whether the prefix alone decides the ordering.
+//
+// Unlike Append, Prefix carries no tag byte — the callers sort one
+// column whose non-null values share a type, so only null needs a
+// reserved slot: null maps to 0 and every non-null value maps above it
+// (ints/floats have the offset/sign bit set; bools map to 1 and 2;
+// string prefixes could be all-zero, and Refs hold IDs that the
+// allocator starts at 1, so those two report non-decisive at k==0 and
+// fall back to the comparator).
+//
+// When decisive is false for any entry in a batch, the kernel must
+// tie-break equal-prefix runs with the real comparator. The rule callers
+// rely on: if both a and b are decisive and Prefix(a) == Prefix(b), then
+// storage.Compare(a, b) == 0; and for any a, b of one column,
+// Prefix(a) < Prefix(b) implies storage.Compare(a, b) < 0.
+func Prefix(v storage.Value) (k uint64, decisive bool) {
+	switch v.Type() {
+	case storage.Null:
+		// Nulls sort first. 0 is below every non-null prefix; not
+		// decisive because a non-decisive string/ref could also map to 0.
+		return 0, false
+	case storage.Int:
+		// normInt(math.MinInt64) is 0, colliding with null's slot —
+		// report non-decisive there so the comparator separates them.
+		k = normInt(v.Int())
+		return k, k != 0
+	case storage.Float:
+		// normFloat is ≥ 2^63 ≫ 0 for every float, including -Inf
+		// (bits 0xFFF0… → ^bits = 0x000F… > 0). Always decisive.
+		return normFloat(v.Float()), true
+	case storage.Str:
+		s := v.Str()
+		n := len(s)
+		decisive = n < PrefixBytes
+		if n > PrefixBytes {
+			n = PrefixBytes
+		}
+		for i := 0; i < n; i++ {
+			b := s[i]
+			if b == 0x00 {
+				// A zero content byte is indistinguishable from padding
+				// ("a" vs "a\x00"); let the comparator decide.
+				decisive = false
+			}
+			k |= uint64(b) << (56 - 8*i)
+		}
+		return k, decisive
+	case storage.Bool:
+		if v.Bool() {
+			return 2, true
+		}
+		return 1, true
+	case storage.Ref:
+		// Refs compare by resolved tuple ID. IDs start at 1, but a zero
+		// ID (synthetic tuple) would collide with null.
+		k = v.Ref().ID()
+		return k, k != 0
+	default:
+		panic("sortkey: unknown value type")
+	}
+}
+
+// PrefixOfBytes packs the first PrefixBytes bytes of an encoded key into
+// the kernel's uint64 prefix, zero-padded on the right. Because enc is
+// an order-preserving byte string, the packed prefixes order correctly;
+// they are never decisive on their own (two long keys can share a
+// prefix), so composite-key callers always supply a tie-break
+// comparator.
+func PrefixOfBytes(enc []byte) uint64 {
+	n := len(enc)
+	if n >= PrefixBytes {
+		return binary.BigEndian.Uint64(enc)
+	}
+	var k uint64
+	for i := 0; i < n; i++ {
+		k |= uint64(enc[i]) << (56 - 8*i)
+	}
+	return k
+}

@@ -97,6 +97,19 @@ type Options struct {
 	// below which the paper's original algorithms always run. The zero
 	// value uses the plan package defaults.
 	Radix RadixConfig
+	// SortMethod selects the sort substrate for the sort-based operators
+	// (Sort Merge join array builds, MPSM run formation, sort-scan
+	// DISTINCT): SortAuto (default) lets the cost-based chooser
+	// (plan.ChooseSortMethod) upgrade to the normalized-key radix sort
+	// above the crossover, SortQuicksort pins the paper-faithful §3.1
+	// comparator quicksort, SortRadix forces the radix kernel.
+	// Query.SortMethod overrides it per query.
+	SortMethod SortStrategy
+	// Sort tunes the sort-method crossover: the input cardinality below
+	// which the comparator quicksort always runs, and the assumed
+	// decisive-prefix width. The zero value uses the plan package
+	// defaults (paper-scale inputs always stay on the §3.1 quicksort).
+	Sort SortConfig
 }
 
 // JoinStrategy selects between the paper-faithful chained-bucket hash
@@ -124,6 +137,32 @@ const (
 
 // RadixConfig tunes the radix execution paths; see plan.RadixConfig.
 type RadixConfig = plan.RadixConfig
+
+// SortStrategy selects between the paper-faithful comparator quicksort
+// and the normalized-key radix sort (internal/sortkey) for operators
+// that sort: the Sort Merge join's array builds, the MPSM parallel
+// join's run formation, and sort-scan duplicate elimination. Both
+// substrates produce the same key order; only the work to get there
+// differs.
+type SortStrategy int
+
+// Sort strategies for Options.SortMethod / Query.SortMethod.
+const (
+	// SortAuto applies the cost-based crossover: the radix kernel when
+	// the input is large enough that comparator indirection dominates
+	// (plan.ChooseSortMethod), the §3.1 quicksort otherwise — so the
+	// paper-scale reproductions always run the original algorithm.
+	SortAuto SortStrategy = iota
+	// SortQuicksort always runs the paper-faithful comparator quicksort
+	// with the insertion-sort cutoff.
+	SortQuicksort
+	// SortRadix forces the normalized-key radix sort even below the
+	// crossover.
+	SortRadix
+)
+
+// SortConfig tunes the sort-method crossover; see plan.SortConfig.
+type SortConfig = plan.SortConfig
 
 // Database is a main-memory database: a set of tables, a partition-level
 // lock manager, and (optionally) the recovery machinery.

@@ -39,16 +39,17 @@ const Self = "__self__"
 // preference ordering (§4); Explain describes its expected choices,
 // Analyze runs the query and reports what actually executed.
 type Query struct {
-	db       *Database
-	from     *Table
-	tx       *Txn
-	preds    []qpred
-	join     *qjoin
-	cols     []string
-	distinct bool
-	par      int           // requested parallelism; 0 = database default
-	strategy *JoinStrategy // per-query Options.JoinMethod override
-	err      error
+	db        *Database
+	from      *Table
+	tx        *Txn
+	preds     []qpred
+	join      *qjoin
+	cols      []string
+	distinct  bool
+	par       int           // requested parallelism; 0 = database default
+	strategy  *JoinStrategy // per-query Options.JoinMethod override
+	sortStrat *SortStrategy // per-query Options.SortMethod override
+	err       error
 	// forceJoin overrides the planner's join choice — a testing hook that
 	// lets trace tests exercise methods the preference ordering would not
 	// pick (sort-merge, nested loops). Never set by public API.
@@ -193,6 +194,41 @@ func (q *Query) joinStrategy() JoinStrategy {
 		return *q.strategy
 	}
 	return q.db.opts.JoinMethod
+}
+
+// SortMethod overrides Options.SortMethod for this query: SortAuto
+// applies the cost-based quicksort-vs-radix crossover, SortQuicksort
+// pins the paper-faithful §3.1 comparator quicksort, SortRadix forces
+// the normalized-key radix kernel. It affects the Sort Merge join's
+// array builds (serial and MPSM) and, when set explicitly, switches
+// DISTINCT from hashing to the §3.4 Sort Scan on the chosen substrate.
+func (q *Query) SortMethod(s SortStrategy) *Query {
+	q.sortStrat = &s
+	return q
+}
+
+// sortStrategy resolves the effective sort strategy: per-query override,
+// else the database default.
+func (q *Query) sortStrategy() SortStrategy {
+	if q.sortStrat != nil {
+		return *q.sortStrat
+	}
+	return q.db.opts.SortMethod
+}
+
+// sortMethodFor resolves the sort substrate for a sort of rows elements
+// with keyBytes-wide encoded keys: forced strategies map directly, and
+// SortAuto asks the planner's crossover — which keeps every paper-scale
+// sort on the faithful §3.1 quicksort.
+func (q *Query) sortMethodFor(rows, keyBytes int) plan.SortMethod {
+	switch q.sortStrategy() {
+	case SortQuicksort:
+		return plan.SortQuick
+	case SortRadix:
+		return plan.SortRadixKey
+	default:
+		return plan.ChooseSortMethod(rows, keyBytes, q.db.opts.Sort)
+	}
 }
 
 // radixBits resolves the radix plan for an operator that would build a
@@ -369,6 +405,9 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		list = jr.list
 		planNotes = append(planNotes,
 			fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), q.join.table.Name(), jr.method))
+		if jr.method == plan.JoinSortMerge && jr.sortMethod == plan.SortRadixKey {
+			planNotes = append(planNotes, "sort: "+jr.sortMethod.String()+" (normalized-key array builds)")
+		}
 		if collect {
 			total.Add(joinMeter)
 			scanned += int64(jr.innerScanned)
@@ -383,7 +422,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
 				AccessPath: jr.method.String(),
 				RowsIn:     jr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
-				Workers:    jr.workers,
+				Workers: jr.workers,
 			}
 			if jr.radix.Fanout > 0 {
 				node.RadixPasses = jr.radix.Passes
@@ -422,7 +461,21 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		distinctWorkers := plan.ChooseWorkers(q.parallelism(), list.Len())
 		distinctPath := "hash duplicate elimination"
 		var dstats radix.Stats
-		if dbits := q.radixBits(list.Len()); dbits != nil {
+		if ss := q.sortStrategy(); ss != SortAuto {
+			// An explicit sort strategy switches DISTINCT to the §3.4
+			// Sort Scan on the chosen substrate — the knob that lets the
+			// sort engine be compared end to end. SortAuto keeps the
+			// paper's conclusion: hashing dominates for duplicate
+			// elimination.
+			sm := plan.SortQuick
+			if ss == SortRadix {
+				sm = plan.SortRadixKey
+			}
+			distinctWorkers = 1
+			list = exec.ProjectSort(list, mp, sm)
+			distinctPath = fmt.Sprintf("sort-scan duplicate elimination (%s)", sm)
+			planNotes = append(planNotes, "distinct: "+distinctPath)
+		} else if dbits := q.radixBits(list.Len()); dbits != nil {
 			list, dstats = parallel.RadixProjectHash(list, mp, distinctWorkers, dbits)
 			distinctPath = "radix-partitioned hash duplicate elimination"
 			planNotes = append(planNotes, "distinct: "+distinctPath)
@@ -730,7 +783,8 @@ type joinExec struct {
 	workers      int    // parallel join workers (0 or 1 = serial)
 	probeKind    string // inner index structure probed ("" when none)
 	probes       int64
-	radix        radix.Stats // radix partitioning stats (zero unless radix ran)
+	radix        radix.Stats     // radix partitioning stats (zero unless radix ran)
+	sortMethod   plan.SortMethod // sort substrate (meaningful for sort-merge)
 }
 
 // runJoin joins the selection result (left) with the join table (right).
@@ -809,6 +863,13 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 			parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
 		out.innerScanned = innerCard
 	case plan.JoinSortMerge:
+		// Resolve the sort substrate for the array builds; the larger
+		// side drives the crossover (both sides get sorted, and the
+		// bigger sort dominates). Join keys are single columns, so the
+		// decisive-prefix width is the default.
+		sm := q.sortMethodFor(max(outer.Len(), innerCard), plan.DefaultSortPrefixBytes)
+		spec.SortMethod = sm
+		out.sortMethod = sm
 		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
 			spec.Parallelism = w
 			out.workers = w

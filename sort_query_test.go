@@ -1,0 +1,161 @@
+package mmdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// forceSortMergeQuery builds an a⋈b query with the planner's join
+// choice pinned to sort-merge (never preferred by the §4 ordering in
+// this schema) so the sort substrate underneath it can be exercised.
+func forceSortMergeQuery(db *Database, s SortStrategy, workers int) *Query {
+	m := plan.JoinSortMerge
+	q := db.Query("a").Where("id", Gt, Int(-1)).Join("b", "k", "k").
+		Select("a.id", "b.id").Parallel(workers).SortMethod(s)
+	q.forceJoin = &m
+	return q
+}
+
+// TestSortRadixJoinMatchesQuicksort: forcing the normalized-key radix
+// builds under the sort-merge join must yield exactly the comparator
+// quicksort's result multiset, and EXPLAIN ANALYZE must attribute the
+// substrate and its pass/run counters.
+func TestSortRadixJoinMatchesQuicksort(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{}, rows)
+
+	quick, trq, err := forceSortMergeQuery(db, SortQuicksort, 1).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, trr, err := forceSortMergeQuery(db, SortRadix, 1).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, "radix-vs-quicksort join", multiset(t, quick), multiset(t, radix))
+
+	var qj, rj *TraceNode
+	for _, n := range trq.Root.Children {
+		if n.Op == "join" {
+			qj = n
+		}
+	}
+	for _, n := range trr.Root.Children {
+		if n.Op == "join" {
+			rj = n
+		}
+	}
+	if qj == nil || qj.AccessPath != "Sort Merge join" {
+		t.Fatalf("quicksort join node = %+v, want Sort Merge join", qj)
+	}
+	if qj.Ops.SortPasses != 0 || qj.Ops.SortRuns != 0 {
+		t.Fatalf("comparator quicksort recorded radix-kernel work: %+v", qj.Ops)
+	}
+	if rj == nil || rj.AccessPath != "Sort Merge join" {
+		t.Fatalf("radix join node = %+v, want Sort Merge join", rj)
+	}
+	if rj.Ops.SortPasses == 0 {
+		t.Fatalf("radix builds recorded no scatter passes: %+v", rj.Ops)
+	}
+	if rj.Ops.KeyBytes == 0 {
+		t.Fatalf("radix builds recorded no encoded key bytes: %+v", rj.Ops)
+	}
+	if !strings.Contains(trr.Format(), "sort: passes=") {
+		t.Fatalf("formatted trace missing sort line:\n%s", trr.Format())
+	}
+	if strings.Contains(trq.Format(), "sort: passes=") {
+		t.Fatalf("quicksort trace claims radix-kernel work:\n%s", trq.Format())
+	}
+	if !strings.Contains(radix.Plan(), "radix-key sort") {
+		t.Fatalf("executed plan missing sort substrate:\n%s", radix.Plan())
+	}
+
+	// The MPSM parallel path must agree with the serial one on both
+	// substrates.
+	pq, err := forceSortMergeQuery(db, SortQuicksort, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := forceSortMergeQuery(db, SortRadix, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, "parallel radix join", multiset(t, quick), multiset(t, pr))
+	sameMultiset(t, "parallel quicksort join", multiset(t, quick), multiset(t, pq))
+}
+
+// TestSortDistinctSubstrates: an explicit sort strategy switches
+// DISTINCT to the §3.4 Sort Scan on that substrate; both substrates and
+// the default hash path must keep exactly the same distinct rows.
+func TestSortDistinctSubstrates(t *testing.T) {
+	const rows = 12000
+	db := openBig(t, Options{}, rows)
+	mk := func() *Query { return db.Query("a").Select("k").Distinct() }
+
+	hash, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, trq, err := mk().SortMethod(SortQuicksort).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radix, trr, err := mk().SortMethod(SortRadix).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Len() != 97 || quick.Len() != 97 || radix.Len() != 97 {
+		t.Fatalf("distinct kept %d/%d/%d rows, want 97", hash.Len(), quick.Len(), radix.Len())
+	}
+	sameMultiset(t, "distinct quick", multiset(t, hash), multiset(t, quick))
+	sameMultiset(t, "distinct radix", multiset(t, hash), multiset(t, radix))
+
+	node := func(tr *QueryTrace) *TraceNode {
+		for _, n := range tr.Root.Children {
+			if n.Op == "distinct" {
+				return n
+			}
+		}
+		return nil
+	}
+	qn, rn := node(trq), node(trr)
+	if qn == nil || qn.AccessPath != "sort-scan duplicate elimination (quicksort)" {
+		t.Fatalf("quicksort distinct node = %+v", qn)
+	}
+	if rn == nil || rn.AccessPath != "sort-scan duplicate elimination (radix-key sort)" {
+		t.Fatalf("radix distinct node = %+v", rn)
+	}
+	if rn.Ops.SortPasses == 0 || rn.Ops.KeyBytes == 0 {
+		t.Fatalf("radix distinct recorded no kernel work: %+v", rn.Ops)
+	}
+	if !strings.Contains(trr.Format(), "sort: passes=") {
+		t.Fatalf("radix distinct trace missing sort line:\n%s", trr.Format())
+	}
+}
+
+// TestSortAutoCrossover: under SortAuto the chooser must keep
+// paper-scale sorts on the §3.1 comparator quicksort and upgrade to the
+// normalized-key kernel only past the configured crossover — here
+// lowered so the same 12000-row sort flips sides.
+func TestSortAutoCrossover(t *testing.T) {
+	const rows = 12000
+	below := openBig(t, Options{}, rows) // default crossover: 64Ki rows ≫ sort size
+	_, tr, err := forceSortMergeQuery(below, SortAuto, 1).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tr.Format(), "sort: passes=") {
+		t.Fatalf("below crossover should run the comparator quicksort:\n%s", tr.Format())
+	}
+
+	above := openBig(t, Options{Sort: SortConfig{MinRows: 1}}, rows)
+	_, tr2, err := forceSortMergeQuery(above, SortAuto, 1).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr2.Format(), "sort: passes=") {
+		t.Fatalf("above crossover should run the radix kernel:\n%s", tr2.Format())
+	}
+}
