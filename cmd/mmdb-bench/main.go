@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	_ "repro/internal/obsbench" // registers the telemetry-overhead experiment
 )
 
 // jsonReport is the machine-readable run record the -json flag writes:

@@ -10,6 +10,8 @@
 //	.schema <table>       columns and indexes
 //	.stats                engine metrics snapshot (queries, locks, txns, log, §3.1 ops)
 //	.analyze <select>     run the statement and print its operator trace
+//	.active               list in-flight queries (phase, rows, worker gauges)
+//	.slow                 dump the slow-query log (enable with -slow <duration>)
 //	.checkpoint           write all partitions to the disk copy
 //	.recover              recover declared tables from the disk copy
 //	.quit
@@ -33,13 +35,15 @@ import (
 	"strings"
 
 	mmdb "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	dir := flag.String("dir", "", "disk-copy directory (enables durability)")
+	slow := flag.Duration("slow", 0, "slow-query threshold (enables the slow-query log, e.g. -slow 100ms)")
 	flag.Parse()
 
-	db, err := mmdb.Open(mmdb.Options{Dir: *dir})
+	db, err := mmdb.Open(mmdb.Options{Dir: *dir, SlowQueryThreshold: *slow})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -78,10 +82,18 @@ func dotCommand(db *mmdb.Database, line string) error {
 		fmt.Println("       INSERT INTO t VALUES (...)  — REF(table, col, value) writes a tuple pointer")
 		fmt.Println("       [EXPLAIN [ANALYZE]] SELECT [DISTINCT] cols FROM t [JOIN t2 ON a.x = b.y] [WHERE ...] [LIMIT n]")
 		fmt.Println("       UPDATE t SET col = v [WHERE ...] | DELETE FROM t [WHERE ...]")
-		fmt.Println("  meta: .tables  .schema <t>  .stats  .analyze <select>  .checkpoint  .recover  .quit")
+		fmt.Println("  meta: .tables  .schema <t>  .stats  .analyze <select>  .active  .slow  .checkpoint  .recover  .quit")
 		return nil
 	case ".stats":
 		fmt.Println(indent(db.Stats().String()))
+		return nil
+	case ".active":
+		fmt.Print(indent(obs.FormatActive(db.ActiveQueries())))
+		fmt.Println()
+		return nil
+	case ".slow":
+		fmt.Print(indent(obs.FormatSlow(db.SlowQueries())))
+		fmt.Println()
 		return nil
 	case ".analyze":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))

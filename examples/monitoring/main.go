@@ -166,6 +166,21 @@ func main() {
 		fmt.Println("  " + sc.Text())
 	}
 	io.Copy(io.Discard, resp.Body)
+
+	// Live introspection rides the same pattern: db.DebugHandler() serves
+	// /debug/queries (in-flight queries with phase and progress gauges)
+	// and /debug/slow (the slow-query log — enable it with
+	// Options.SlowQueryThreshold).
+	dbg := httptest.NewServer(db.DebugHandler())
+	defer dbg.Close()
+	resp2, err := http.Get(dbg.URL + "/debug/queries")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	fmt.Println("\ncurl " + dbg.URL + "/debug/queries:")
+	fmt.Println(indent(strings.TrimRight(string(body), "\n")))
 }
 
 // indent prefixes every line with two spaces.

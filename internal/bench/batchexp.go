@@ -26,7 +26,11 @@ import (
 // (so no variant pays collection debt left by the previous one) and keeps
 // the minimum of each metric — pools and caches warm up on the first
 // repetition, which is the steady state the engine runs in.
-func timeAllocs(f func()) (float64, uint64) {
+func timeAllocs(f func()) (float64, uint64) { return TimeAllocs(f) }
+
+// TimeAllocs is timeAllocs for plug-in experiment packages (see
+// Register).
+func TimeAllocs(f func()) (float64, uint64) {
 	var best float64
 	var bestAllocs uint64
 	for rep := 0; rep < 3; rep++ {

@@ -28,6 +28,12 @@ var All = []Experiment{
 	{ID: "sort", Exhibit: "Extension — comparator vs normalized-key radix sort engine", Run: SortEngineSweep},
 }
 
+// Register adds an experiment to All. Experiments that exercise the
+// public Database API live outside this package (the engine's own tests
+// import it, so importing the root here would cycle) and plug in at
+// init time — see internal/obsbench.
+func Register(e Experiment) { All = append(All, e) }
+
 // ByID resolves an experiment.
 func ByID(id string) (Experiment, error) {
 	for _, e := range All {

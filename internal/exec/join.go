@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/index"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -45,6 +46,11 @@ type JoinSpec struct {
 	// through the normalized-key radix kernel (internal/sortkey). The
 	// merge phase is identical either way.
 	SortMethod plan.SortMethod
+	// Prog, when non-nil, receives live rows-processed progress and
+	// worker saturation from the parallel executor (the serial operators
+	// in this package ignore it). Nil is the disabled state; every
+	// Progress method tolerates it.
+	Prog *obs.Progress
 }
 
 // emitter materializes (or merely counts) join result rows.

@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/index"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -24,6 +25,11 @@ type SelectSpec struct {
 	// Hint, when positive, is the expected result cardinality; the output
 	// list is presized so no chunk growth happens during the scan.
 	Hint int
+	// Prog, when non-nil, receives live rows-processed progress and
+	// worker saturation from the parallel executor (the serial operators
+	// in this package ignore it). Nil is the disabled state; every
+	// Progress method tolerates it.
+	Prog *obs.Progress
 }
 
 func (s SelectSpec) newList() *storage.TempList {

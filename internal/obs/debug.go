@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// DebugHandler exposes the live query registry and the slow-query log
+// over HTTP, next to the metrics handler:
+//
+//	/debug/queries — in-flight queries with phase, progress, saturation
+//	/debug/slow    — the slow-query ring, newest first, full traces
+//
+// Plain text by default, JSON with ?format=json. Both arguments may be
+// nil (the corresponding surface reports itself disabled).
+func DebugHandler(active *ActiveSet, slow *SlowLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			writeJSON(w, active.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, FormatActive(active.Snapshot()))
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			writeJSON(w, slow.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, FormatSlow(slow.Snapshot()))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// FormatActive renders a live-registry snapshot as an aligned text block
+// — the shell's .active output and /debug/queries' text form.
+func FormatActive(qs []ActiveQueryInfo) string {
+	if len(qs) == 0 {
+		return "no active queries\n"
+	}
+	var b strings.Builder
+	for _, q := range qs {
+		fmt.Fprintf(&b, "q%-4d %-9s elapsed=%-10s rows=%-10d workers=%d/%d peak  %s\n",
+			q.ID, q.Phase, q.Elapsed.Round(time.Millisecond), q.Rows,
+			q.BusyWorkers, q.PeakWorkers, q.Text)
+	}
+	return b.String()
+}
+
+// FormatSlow renders a slow-log snapshot, newest first, each entry with
+// its full trace indented below the summary line.
+func FormatSlow(qs []SlowQuery) string {
+	if len(qs) == 0 {
+		return "no slow queries\n"
+	}
+	var b strings.Builder
+	for _, q := range qs {
+		fmt.Fprintf(&b, "q%-4d wall=%-10s rows=%-10d %s\n",
+			q.ID, q.Wall.Round(time.Microsecond), q.Rows, q.Text)
+		if q.Trace != nil {
+			for _, line := range strings.Split(q.Trace.Format(), "\n") {
+				b.WriteString("  ")
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}

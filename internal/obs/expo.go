@@ -36,6 +36,11 @@ type Snapshot struct {
 	Ops meter.Counters `json:"ops"`
 
 	QueryLatency HistogramSnapshot `json:"query_latency"`
+
+	// Plan-vs-actual audit: mispredictions per decision name, and the
+	// radix partition-skew distribution.
+	PlanMispredicts map[string]int64       `json:"plan_mispredicts,omitempty"`
+	RadixSkew       FloatHistogramSnapshot `json:"radix_skew"`
 }
 
 // Snapshot copies the registry's current state. Safe on a nil receiver
@@ -59,8 +64,10 @@ func (r *Registry) Snapshot() Snapshot {
 		LogAppends:    r.logAppends.Load(),
 		LogWords:      r.logWords.Load(),
 		LogFlushes:    r.logFlushes.Load(),
-		Ops:           r.ops.Snapshot(),
-		QueryLatency:  r.queryLatency.Snapshot(),
+		Ops:             r.ops.Snapshot(),
+		QueryLatency:    r.queryLatency.Snapshot(),
+		PlanMispredicts: r.planMispredicts.snapshot(),
+		RadixSkew:       r.radixSkew.Snapshot(),
 	}
 }
 
@@ -75,6 +82,13 @@ func (s Snapshot) String() string {
 	}
 	for _, k := range sortedKeys(s.IndexProbes) {
 		fmt.Fprintf(&b, "  probes %-22s %d\n", k, s.IndexProbes[k])
+	}
+	for _, k := range sortedKeys(s.PlanMispredicts) {
+		fmt.Fprintf(&b, "  mispredict %-18s %d\n", k, s.PlanMispredicts[k])
+	}
+	if s.RadixSkew.Count > 0 {
+		fmt.Fprintf(&b, "radix skew        n=%d mean=%.2f max=%.2f\n",
+			s.RadixSkew.Count, s.RadixSkew.Mean(), s.RadixSkew.Max)
 	}
 	fmt.Fprintf(&b, "transactions      begin=%d commit=%d abort=%d\n", s.TxnBegins, s.TxnCommits, s.TxnAborts)
 	fmt.Fprintf(&b, "locks             waits=%d wait time=%s deadlocks=%d\n", s.LockWaits, s.LockWaitTime, s.Deadlocks)
@@ -112,6 +126,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Ops.Partitions -= prev.Ops.Partitions
 	d.QueriesByPlan = subMap(s.QueriesByPlan, prev.QueriesByPlan)
 	d.IndexProbes = subMap(s.IndexProbes, prev.IndexProbes)
+	d.PlanMispredicts = subMap(s.PlanMispredicts, prev.PlanMispredicts)
 	return d
 }
 
@@ -157,6 +172,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	labeled("mmdb_queries_by_plan_total", "Queries by plan shape.", "plan", s.QueriesByPlan)
 	labeled("mmdb_index_probes_total", "Index probes by structure kind.", "kind", s.IndexProbes)
+	labeled("mmdb_plan_mispredict_total", "Cost-model decisions whose estimate error crossed the audit threshold.", "decision", s.PlanMispredicts)
 	counter("mmdb_lock_waits_total", "Lock requests that had to queue.", s.LockWaits)
 	counter("mmdb_lock_wait_nanoseconds_total", "Total time spent waiting for locks.", int64(s.LockWaitTime))
 	counter("mmdb_deadlocks_total", "Deadlock-victim aborts.", s.Deadlocks)
@@ -193,6 +209,26 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	fmt.Fprintf(w, "mmdb_query_seconds_sum %g\n", h.Sum.Seconds())
 	fmt.Fprintf(w, "mmdb_query_seconds_count %d\n", h.Count)
+
+	// Radix partition skew: histogram plus a max gauge, so the worst
+	// partitioning since start is alertable without quantile math.
+	sk := s.RadixSkew
+	fmt.Fprintf(w, "# HELP mmdb_radix_skew Radix partition skew (max partition over mean; 1 = balanced).\n# TYPE mmdb_radix_skew histogram\n")
+	cum = 0
+	for _, b := range sk.Buckets {
+		cum += b.N
+		le := "+Inf"
+		if b.Le != 0 {
+			le = fmt.Sprintf("%g", b.Le)
+		}
+		fmt.Fprintf(w, "mmdb_radix_skew_bucket{le=%q} %d\n", le, cum)
+	}
+	if len(sk.Buckets) == 0 || sk.Buckets[len(sk.Buckets)-1].Le != 0 {
+		fmt.Fprintf(w, "mmdb_radix_skew_bucket{le=\"+Inf\"} %d\n", cum)
+	}
+	fmt.Fprintf(w, "mmdb_radix_skew_sum %g\n", sk.Sum)
+	fmt.Fprintf(w, "mmdb_radix_skew_count %d\n", sk.Count)
+	fmt.Fprintf(w, "# HELP mmdb_radix_skew_max Largest radix partition skew observed.\n# TYPE mmdb_radix_skew_max gauge\nmmdb_radix_skew_max %g\n", sk.Max)
 }
 
 // Handler returns an HTTP handler exposing the registry: Prometheus text

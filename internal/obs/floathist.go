@@ -1,0 +1,101 @@
+package obs
+
+import "sync/atomic"
+
+// FloatHistogram is the Histogram's unitless sibling for ratio-valued
+// observations (radix partition skew). Same contract: fixed bucket
+// bounds set once, observations are a short search plus atomic adds, and
+// nothing on the observe path allocates. The sum is held in micro-units
+// so it stays a lock-free integer add.
+type FloatHistogram struct {
+	bounds   []float64      // ascending upper bounds; above the last = overflow
+	buckets  []atomic.Int64 // len(bounds)+1, last = overflow
+	count    atomic.Int64
+	sumMicro atomic.Int64
+	max      atomic.Int64 // max observation in micro-units
+}
+
+// DefaultSkewBounds returns the skew bucket layout: 1.0 is a perfectly
+// balanced partitioning, ≥2 means the largest partition blew past twice
+// the mean — the point where the L2-sizing argument starts to fail.
+func DefaultSkewBounds() []float64 {
+	return []float64{1.1, 1.25, 1.5, 2, 3, 4, 8, 16}
+}
+
+func (h *FloatHistogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+}
+
+// Observe records one value. Safe on an uninitialized receiver.
+func (h *FloatHistogram) Observe(v float64) {
+	if h == nil || h.buckets == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	micro := int64(v * 1e6)
+	h.sumMicro.Add(micro)
+	for {
+		cur := h.max.Load()
+		if micro <= cur || h.max.CompareAndSwap(cur, micro) {
+			return
+		}
+	}
+}
+
+// FloatBucket is one bucket of a FloatHistogramSnapshot: N observations
+// at or below Le (Le == 0 marks the overflow bucket).
+type FloatBucket struct {
+	Le float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// FloatHistogramSnapshot is a point-in-time copy of a FloatHistogram.
+type FloatHistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Max     float64       `json:"max"`
+	Buckets []FloatBucket `json:"buckets,omitempty"` // non-empty only, ascending
+}
+
+// Mean returns the average observation, or 0 with none.
+func (s FloatHistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot copies the histogram's current state, dropping empty buckets.
+func (h *FloatHistogram) Snapshot() FloatHistogramSnapshot {
+	if h == nil || h.buckets == nil {
+		return FloatHistogramSnapshot{}
+	}
+	out := FloatHistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   float64(h.sumMicro.Load()) / 1e6,
+		Max:   float64(h.max.Load()) / 1e6,
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := FloatBucket{N: n}
+		if i < len(h.bounds) {
+			b.Le = h.bounds[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}

@@ -42,6 +42,12 @@ type Registry struct {
 	planShapes   LabeledCounter
 	indexProbes  LabeledCounter
 
+	// Plan-vs-actual decision audit: mispredictions by decision name,
+	// and the radix partition-skew distribution (max partition over mean;
+	// 1.0 = perfectly balanced).
+	planMispredicts LabeledCounter
+	radixSkew       FloatHistogram
+
 	// Concurrency control (internal/lock).
 	lockWaits     atomic.Int64
 	lockWaitNanos atomic.Int64
@@ -66,6 +72,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	r := &Registry{}
 	r.queryLatency.init(DefaultLatencyBounds())
+	r.radixSkew.init(DefaultSkewBounds())
 	return r
 }
 
@@ -86,6 +93,36 @@ func (r *Registry) RecordQuery(shape string, scanned, returned int64, wall time.
 	r.queryLatency.Observe(wall)
 	r.planShapes.Add(shape, 1)
 	r.ops.Add(ops)
+}
+
+// RecordDecision folds one plan-vs-actual audit record into the
+// registry: a decision whose observed error crossed its threshold bumps
+// mmdb_plan_mispredict_total{decision=...}. Safe on a nil receiver.
+func (r *Registry) RecordDecision(d Decision) {
+	if r == nil {
+		return
+	}
+	if d.Mispredicted() {
+		r.planMispredicts.Add(d.Name, 1)
+	}
+}
+
+// MispredictCount returns the misprediction count for one decision name.
+// Safe on a nil receiver.
+func (r *Registry) MispredictCount(decision string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.planMispredicts.Get(decision)
+}
+
+// ObserveRadixSkew records one radix partitioning's skew (max partition
+// size over mean). Safe on a nil receiver.
+func (r *Registry) ObserveRadixSkew(skew float64) {
+	if r == nil || skew <= 0 {
+		return
+	}
+	r.radixSkew.Observe(skew)
 }
 
 // IndexProbe records n probes of a persistent index structure of the given

@@ -270,15 +270,30 @@ func TestHandlerFormats(t *testing.T) {
 }
 
 // BenchmarkObsOverhead is the CI guard for the disabled-path cost: a nil
-// registry must add zero allocations per recorded event.
+// registry — and nil lifecycle surfaces (live registry, progress, slow
+// log, decision audit) — must add zero allocations per recorded event.
 func BenchmarkObsOverhead(b *testing.B) {
-	var r *Registry
+	var (
+		r      *Registry
+		active *ActiveSet
+		slow   *SlowLog
+	)
 	ops := meter.Counters{Comparisons: 3, NodesVisited: 2}
+	d := Decision{Name: "batch", Estimate: 100, Actual: 10, Threshold: 2}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.RecordQuery("shape", 100, 10, time.Microsecond, ops)
 		r.IndexProbe("T Tree", 1)
 		r.TxnBegin()
+		r.RecordDecision(d)
+		r.ObserveRadixSkew(1.5)
+		aq := active.Register("q")
+		pg := aq.Progress()
+		pg.AddRows(256)
+		pg.WorkerStart()
+		pg.WorkerDone(256)
+		slow.Record(SlowQuery{})
+		active.Deregister(aq)
 	}
 }
 

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogSize is the slow-query ring capacity when the database
+// does not set one.
+const DefaultSlowLogSize = 32
+
+// SlowQuery is one captured slow query: identity, text, timing, result
+// size, and the full execution trace (operator tree plus the decision
+// audit) — the evidence for a bad plan, preserved past the query.
+type SlowQuery struct {
+	ID    uint64        `json:"id"`
+	Text  string        `json:"text"`
+	Start time.Time     `json:"start"`
+	Wall  time.Duration `json:"wall_nanos"`
+	Rows  int64         `json:"rows"`
+	Trace *QueryTrace   `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of the most recent queries whose wall
+// time met the threshold. All methods are safe on a nil receiver (the
+// disabled state: no threshold configured).
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	buf       []SlowQuery
+	next      int // ring write position
+	n         int // entries recorded (saturates at len(buf))
+}
+
+// NewSlowLog creates a slow-query log capturing queries at or above the
+// threshold; size <= 0 uses DefaultSlowLogSize. A zero threshold
+// captures every query — useful in tests, pathological in production.
+func NewSlowLog(threshold time.Duration, size int) *SlowLog {
+	if size <= 0 {
+		size = DefaultSlowLogSize
+	}
+	return &SlowLog{threshold: threshold, buf: make([]SlowQuery, size)}
+}
+
+// Threshold returns the capture threshold. Safe on a nil receiver
+// (returns 0).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record captures one slow query, evicting the oldest entry when the
+// ring is full. The caller checks the threshold (it already has the
+// wall time in hand); Record never filters. Safe on a nil receiver.
+func (l *SlowLog) Record(q SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf[l.next] = q
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot copies the captured queries, newest first. Safe on a nil
+// receiver (returns nil).
+func (l *SlowLog) Snapshot() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.next-1-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

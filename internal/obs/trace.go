@@ -48,6 +48,12 @@ func (n *TraceNode) Add(child *TraceNode) *TraceNode {
 type QueryTrace struct {
 	Root  *TraceNode
 	Total time.Duration // end-to-end wall time, including locking and planning
+
+	// Decisions is the plan-vs-actual audit: one record per cost-model
+	// choice the planner made (batch size, worker count, radix bits, sort
+	// method), each comparing the estimate the choice rested on against
+	// the observed value.
+	Decisions []Decision
 }
 
 // TotalOps sums the §3.1 counters over the whole tree.
@@ -86,6 +92,11 @@ func (t *QueryTrace) Format() string {
 		fmt.Fprintf(&b, " (%s)", ops.String())
 	}
 	b.WriteByte('\n')
+	for _, d := range t.Decisions {
+		b.WriteString("decision ")
+		b.WriteString(d.Line())
+		b.WriteByte('\n')
+	}
 	for i, c := range t.Root.Children {
 		writeNode(&b, c, "", i == len(t.Root.Children)-1)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sortutil"
 	"repro/internal/storage"
@@ -45,8 +46,8 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 	// Phase 1 — range-partition both sides in parallel. Each morsel
 	// classifies its tuples into private per-range buckets; worker r later
 	// concatenates the buckets of range r in morsel order.
-	outerBuckets := classifyRanges(to, fo, splitters, w, spec.Meter)
-	innerBuckets := classifyRanges(ti, fi, splitters, w, spec.Meter)
+	outerBuckets := classifyRanges(to, fo, splitters, w, spec.Meter, spec.Prog)
+	innerBuckets := classifyRanges(ti, fi, splitters, w, spec.Meter, spec.Prog)
 
 	// Phase 2 — per-range local sort + merge. Worker r owns key range r:
 	// it gathers the range's tuples, sorts both runs locally (the same
@@ -56,13 +57,14 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
 	results := make([]*storage.TempList, nparts)
 	counts := make([]int, nparts)
-	spec.Meter.Add(run(w, nparts, func(r int, sc *scratch) {
+	spec.Meter.Add(run(spec.Prog, "sortmerge join", w, nparts, func(r int, sc *scratch) {
 		outerRun := gatherRange(outerBuckets, r)
 		innerRun := gatherRange(innerBuckets, r)
 		if len(outerRun) == 0 || len(innerRun) == 0 {
 			results[r] = storage.MustTempList(desc)
 			return
 		}
+		sc.rows += int64(len(outerRun) + len(innerRun))
 		// Run formation uses the spec's sort substrate: the faithful
 		// append+quicksort build, or the normalized-key radix kernel when
 		// the planner (or the SortMethod knob) selected it.
@@ -121,14 +123,15 @@ func sampleSplitters(tuples []*storage.Tuple, field, w int, m *meter.Counters) [
 // classifyRanges scatters tuples into per-morsel, per-range buckets:
 // range r holds the keys in [splitter[r-1], splitter[r]). The returned
 // buckets[morsel][range] slices are each written by exactly one worker.
-func classifyRanges(tuples []*storage.Tuple, field int, splitters []storage.Value, w int, m *meter.Counters) [][][]*storage.Tuple {
+func classifyRanges(tuples []*storage.Tuple, field int, splitters []storage.Value, w int, m *meter.Counters, pg *obs.Progress) [][][]*storage.Tuple {
 	nparts := len(splitters) + 1
 	chunks := SliceSource(tuples).Chunks(w * morselsPerWorker)
 	buckets := make([][][]*storage.Tuple, len(chunks))
-	m.Add(run(w, len(chunks), func(c int, sc *scratch) {
+	m.Add(run(pg, "sortmerge join", w, len(chunks), func(c int, sc *scratch) {
 		local := make([][]*storage.Tuple, nparts)
 		exec.ScanBatches(chunks[c], sc.buf, func(block storage.TupleBatch) bool {
 			sc.ctr.AddBatch(1)
+			sc.rows += int64(len(block))
 			for _, t := range block {
 				k := tupleindex.KeyOf(t, field)
 				r := sort.Search(len(splitters), func(i int) bool {

@@ -33,12 +33,15 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -65,6 +68,10 @@ type scratch struct {
 	ctr  meter.Counters
 	buf  storage.TupleBatch
 	keep storage.TupleBatch
+	// rows is the morsel body's rows-processed tally; run flushes it to
+	// the query's live Progress after every morsel and zeroes it, so
+	// progress is visible at morsel granularity without an atomic per row.
+	rows int64
 }
 
 var scratchPool = sync.Pool{
@@ -77,6 +84,7 @@ var scratchPool = sync.Pool{
 func getScratch() *scratch {
 	sc := scratchPool.Get().(*scratch)
 	sc.ctr.Reset()
+	sc.rows = 0
 	return sc
 }
 
@@ -100,7 +108,14 @@ func putScratch(sc *scratch) {
 // counters are folded through a SharedCounters and the total is returned.
 // fn must not touch state shared between morsels and must not retain sc's
 // batches past the morsel.
-func run(w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
+//
+// pg, when non-nil, is the owning query's live Progress: workers raise
+// its saturation gauges, flush sc.rows after every morsel, fold their
+// row totals into the max-rows-per-worker gauge, and run under pprof
+// labels (mmdb_query=<id>, mmdb_op=<op>) so CPU profiles attribute
+// worker time to queries. A nil pg skips all of it — the labels, the
+// gauges, and the context — so the disabled path stays allocation-free.
+func run(pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
 	if n == 0 {
 		return meter.Counters{}
 	}
@@ -115,12 +130,31 @@ func run(w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
 		go func() {
 			defer wg.Done()
 			sc := getScratch()
-			for {
-				m := int(cursor.Add(1)) - 1
-				if m >= n {
-					break
+			loop := func() {
+				var wrows int64
+				for {
+					m := int(cursor.Add(1)) - 1
+					if m >= n {
+						break
+					}
+					fn(m, sc)
+					if d := sc.rows; d != 0 {
+						sc.rows = 0
+						wrows += d
+						pg.AddRows(d)
+					}
 				}
-				fn(m, sc)
+				if pg != nil {
+					pg.WorkerDone(wrows)
+				}
+			}
+			if pg != nil {
+				pg.WorkerStart()
+				pprof.Do(context.Background(),
+					pprof.Labels("mmdb_query", pg.Label(), "mmdb_op", op),
+					func(context.Context) { loop() })
+			} else {
+				loop()
 			}
 			shared.Add(sc.ctr)
 			putScratch(sc)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -27,7 +28,7 @@ type keyedRow struct {
 //
 // workers <= 1 or a list too small to chunk delegates to the serial
 // operator.
-func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storage.TempList {
+func ProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int) *storage.TempList {
 	w := Degree(workers)
 	if w <= 1 || list.Len() < 2 {
 		return exec.ProjectHash(list, m)
@@ -40,8 +41,9 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 	// ascending row-index order and concatenating buckets in worker order
 	// preserves it.
 	buckets := make([][][]keyedRow, w)
-	m.Add(run(w, w, func(widx int, sc *scratch) {
+	m.Add(run(pg, "distinct", w, w, func(widx int, sc *scratch) {
 		lo, hi := n*widx/w, n*(widx+1)/w
+		sc.rows += int64(hi - lo)
 		local := make([][]keyedRow, nparts)
 		for i := lo; i < hi; i++ {
 			key := list.RowValues(i)
@@ -57,7 +59,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 	// rows (the serial §3.4 sizing), first occurrence wins. Rows arrive in
 	// ascending index order, so "first" matches the serial scan.
 	survivors := make([][]int, nparts)
-	m.Add(run(w, nparts, func(p int, sc *scratch) {
+	m.Add(run(pg, "distinct", w, nparts, func(p int, sc *scratch) {
 		count := 0
 		for widx := range buckets {
 			count += len(buckets[widx][p])
@@ -65,6 +67,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, workers int) *storag
 		if count == 0 {
 			return
 		}
+		sc.rows += int64(count)
 		nslots := count / 2
 		if nslots < 1 {
 			nslots = 1

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/radix"
 	"repro/internal/storage"
 )
@@ -24,19 +25,20 @@ import (
 // occurrence of every distinct key, in input order. A nil/empty radix
 // plan or a tiny list delegates to the partitioned ProjectHash (which
 // itself delegates to the serial §3.4 operator at workers <= 1).
-func RadixProjectHash(list *storage.TempList, m *meter.Counters, workers int, bits []uint) (*storage.TempList, radix.Stats) {
+func RadixProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int, bits []uint) (*storage.TempList, radix.Stats) {
 	pl := radix.Plan{Bits: bits}
 	n := list.Len()
 	if pl.Fanout() <= 1 || n < 2 || n > math.MaxInt32-1 {
-		return ProjectHash(list, m, workers), radix.Stats{}
+		return ProjectHash(list, m, pg, workers), radix.Stats{}
 	}
 	w := Degree(workers)
 
 	// Phase 1 — hash every row's projected key, parallel over static
 	// contiguous ranges (each worker writes a disjoint span).
 	entries := make([]radix.RowEntry, n)
-	m.Add(run(w, w, func(widx int, sc *scratch) {
+	m.Add(run(pg, "radix distinct", w, w, func(widx int, sc *scratch) {
 		lo, hi := n*widx/w, n*(widx+1)/w
+		sc.rows += int64(hi - lo)
 		for i := lo; i < hi; i++ {
 			entries[i] = radix.RowEntry{H: exec.KeyHash(list.RowValues(i), &sc.ctr), P: int32(i)}
 		}
@@ -53,11 +55,12 @@ func RadixProjectHash(list *storage.TempList, m *meter.Counters, workers int, bi
 	// the first insertion of a key is the serial scan's first occurrence.
 	fanout := pl.Fanout()
 	survivors := make([][]int32, fanout)
-	m.Add(run(w, fanout, func(p int, sc *scratch) {
+	m.Add(run(pg, "radix distinct", w, fanout, func(p int, sc *scratch) {
 		seg := pe[offs[p]:offs[p+1]]
 		if len(seg) == 0 {
 			return
 		}
+		sc.rows += int64(len(seg))
 		need := 8
 		for need < 2*len(seg) {
 			need <<= 1

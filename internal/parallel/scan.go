@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -29,12 +31,13 @@ func SelectScan(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Selec
 			return exec.SelectScan(src, pred, spec)
 		}
 		results := make([]*storage.TempList, len(chunks))
-		total := run(w, len(chunks), func(m int, sc *scratch) {
+		total := run(spec.Prog, "scan", w, len(chunks), func(m int, sc *scratch) {
 			local := storage.MustTempListHint(desc, chunks[m].Len())
 			keep := sc.keep
 			exec.ScanBatches(chunks[m], sc.buf, func(block storage.TupleBatch) bool {
 				sc.ctr.AddCompare(int64(len(block)))
 				sc.ctr.AddBatch(1)
+				sc.rows += int64(len(block))
 				keep = keep[:0]
 				for _, t := range block {
 					if pred(t) {
@@ -75,6 +78,7 @@ func streamSelect(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Sel
 	}
 	batches := make(chan seqBatch, w)
 	outs := make([][]seqList, w)
+	pg := spec.Prog
 	var shared meter.SharedCounters
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -82,26 +86,42 @@ func streamSelect(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Sel
 		go func(widx int) {
 			defer wg.Done()
 			sc := getScratch()
-			var mine []seqList
-			for sb := range batches {
-				sc.ctr.AddCompare(int64(len(sb.block)))
-				sc.ctr.AddBatch(1)
-				keep := sc.keep[:0]
-				for _, t := range sb.block {
-					if pred(t) {
-						keep = append(keep, t)
+			drain := func() {
+				var mine []seqList
+				var wrows int64
+				for sb := range batches {
+					sc.ctr.AddCompare(int64(len(sb.block)))
+					sc.ctr.AddBatch(1)
+					wrows += int64(len(sb.block))
+					pg.AddRows(int64(len(sb.block)))
+					keep := sc.keep[:0]
+					for _, t := range sb.block {
+						if pred(t) {
+							keep = append(keep, t)
+						}
 					}
+					sc.keep = keep
+					// No size hint: an unhinted list draws full pooled chunks,
+					// which MergeListsRecycle returns to the pool — the whole
+					// stream runs on recycled blocks.
+					local := storage.MustTempList(desc)
+					local.AppendBatch(keep)
+					mine = append(mine, seqList{seq: sb.seq, list: local})
+					storage.PutBatch(sb.block)
 				}
-				sc.keep = keep
-				// No size hint: an unhinted list draws full pooled chunks,
-				// which MergeListsRecycle returns to the pool — the whole
-				// stream runs on recycled blocks.
-				local := storage.MustTempList(desc)
-				local.AppendBatch(keep)
-				mine = append(mine, seqList{seq: sb.seq, list: local})
-				storage.PutBatch(sb.block)
+				outs[widx] = mine
+				if pg != nil {
+					pg.WorkerDone(wrows)
+				}
 			}
-			outs[widx] = mine
+			if pg != nil {
+				pg.WorkerStart()
+				pprof.Do(context.Background(),
+					pprof.Labels("mmdb_query", pg.Label(), "mmdb_op", "scan"),
+					func(context.Context) { drain() })
+			} else {
+				drain()
+			}
 			shared.Add(sc.ctr)
 			putScratch(sc)
 		}(i)

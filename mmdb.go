@@ -110,6 +110,16 @@ type Options struct {
 	// decisive-prefix width. The zero value uses the plan package
 	// defaults (paper-scale inputs always stay on the §3.1 quicksort).
 	Sort SortConfig
+	// SlowQueryThreshold enables the slow-query log: any query whose wall
+	// time reaches the threshold is captured — text, wall time, rows, and
+	// the full execution trace with the plan-vs-actual decision audit —
+	// into a bounded in-memory ring readable via Database.SlowQueries and
+	// the /debug/slow handler. Zero keeps the log off (and keeps Run free
+	// of trace-building overhead).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query ring; 0 means
+	// obs.DefaultSlowLogSize entries. Oldest entries are overwritten.
+	SlowQueryLogSize int
 }
 
 // JoinStrategy selects between the paper-faithful chained-bucket hash
@@ -175,7 +185,9 @@ type Database struct {
 	log    *recovery.Manager
 	txns   *txn.Manager
 	device *recovery.Device
-	obs    *obs.Registry // nil when Options.DisableMetrics
+	obs    *obs.Registry  // nil when Options.DisableMetrics
+	active *obs.ActiveSet // nil when Options.DisableMetrics
+	slow   *obs.SlowLog   // nil unless Options.SlowQueryThreshold > 0
 }
 
 // Open creates a database. With Options.Dir set, a previously saved disk
@@ -190,6 +202,10 @@ func Open(opts Options) (*Database, error) {
 	if !opts.DisableMetrics {
 		db.obs = obs.NewRegistry()
 		db.locks.SetObserver(db.obs)
+		db.active = obs.NewActiveSet()
+	}
+	if opts.SlowQueryThreshold > 0 {
+		db.slow = obs.NewSlowLog(opts.SlowQueryThreshold, opts.SlowQueryLogSize)
 	}
 	if opts.Dir != "" {
 		log, err := recovery.NewManager(opts.Dir)

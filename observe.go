@@ -22,6 +22,11 @@ type QueryTrace = obs.QueryTrace
 // TraceNode is one operator of a QueryTrace.
 type TraceNode = obs.TraceNode
 
+// Decision is one plan-vs-actual audit record from QueryTrace.Decisions:
+// what the chooser picked, the estimate it picked on, and the actual the
+// execution observed.
+type Decision = obs.Decision
+
 // Stats snapshots the engine metrics. With metrics disabled
 // (Options.DisableMetrics) it returns the zero Stats.
 func (db *Database) Stats() Stats { return db.obs.Snapshot() }
@@ -39,3 +44,29 @@ func (db *Database) Metrics() *obs.Registry { return db.obs }
 //
 // With metrics disabled the handler serves a single comment line.
 func (db *Database) MetricsHandler() http.Handler { return db.obs.Handler() }
+
+// ActiveQueryInfo is one in-flight query as reported by ActiveQueries:
+// its text, phase, start time, and live progress gauges (rows processed,
+// busy/peak workers, max rows one worker absorbed).
+type ActiveQueryInfo = obs.ActiveQueryInfo
+
+// SlowQuery is one slow-query log entry: the query text, wall time, row
+// count, and the full execution trace with the plan-vs-actual decision
+// audit.
+type SlowQuery = obs.SlowQuery
+
+// ActiveQueries snapshots the queries executing right now, oldest first.
+// Live introspection is on whenever metrics are (Options.DisableMetrics
+// turns both off); disabled it returns nil.
+func (db *Database) ActiveQueries() []ActiveQueryInfo { return db.active.Snapshot() }
+
+// SlowQueries returns the slow-query log, newest first. The log is on
+// when Options.SlowQueryThreshold is set; off, this returns nil.
+func (db *Database) SlowQueries() []SlowQuery { return db.slow.Snapshot() }
+
+// DebugHandler returns an HTTP handler serving live-query introspection:
+// /debug/queries lists in-flight queries, /debug/slow dumps the
+// slow-query log (text by default, ?format=json for machines).
+//
+//	mux.Handle("/debug/", db.DebugHandler())
+func (db *Database) DebugHandler() http.Handler { return obs.DebugHandler(db.active, db.slow) }

@@ -318,7 +318,29 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		return nil, nil, q.err
 	}
 	reg := q.db.obs
-	collect := reg != nil || analyze
+	slow := q.db.slow
+	// A configured slow-query log needs the full trace — with the
+	// plan-vs-actual decision audit — for any query that might cross the
+	// threshold, so it forces trace building on every query. Plain Run on
+	// a database without a slow log stays on the no-trace path.
+	buildTrace := analyze || slow != nil
+	collect := reg != nil || buildTrace
+
+	// Live-query registration: the query is visible in ActiveQueries from
+	// here until execute returns, with its phase and rows-processed gauges
+	// updated as the operators run. pg is nil when the registry is off;
+	// every downstream use is nil-safe, so the disabled path costs one
+	// comparison per call site.
+	var qtext string
+	var aq *obs.ActiveQuery
+	if q.db.active != nil || slow != nil {
+		qtext = q.text()
+	}
+	if q.db.active != nil {
+		aq = q.db.active.Register(qtext)
+		defer q.db.active.Deregister(aq)
+	}
+	pg := aq.Progress()
 
 	reader := q.tx
 	if reader == nil {
@@ -344,18 +366,20 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		start = time.Now()
 	}
 	var planNotes []string
-	var total meter.Counters // §3.1 rollup across operators
-	scanned := int64(0)      // base-relation tuples fetched
+	var decisions []obs.Decision // plan-vs-actual audit records
+	var total meter.Counters     // §3.1 rollup across operators
+	scanned := int64(0)          // base-relation tuples fetched
 
 	// Resolve the block size batch-at-a-time operators run with, so the
 	// executed plan records it (pooled blocks are physically
 	// plan.DefaultBatchSize; tiny inputs account for smaller blocks).
-	batchSize := plan.ChooseBatchSize(q.db.opts.BatchSize, q.from.Cardinality())
+	card := q.from.Cardinality()
+	batchSize := plan.ChooseBatchSize(q.db.opts.BatchSize, card)
 	planNotes = append(planNotes, fmt.Sprintf("batch: %d-tuple pointer blocks", batchSize))
 
 	var trace *QueryTrace
 	var root *obs.TraceNode
-	if analyze {
+	if buildTrace {
 		root = &obs.TraceNode{Op: "query", Detail: q.from.Name()}
 		trace = &QueryTrace{Root: root}
 	}
@@ -367,7 +391,8 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		mp = &selMeter
 	}
 	t0 := start
-	sel := q.runSelection(mp)
+	aq.SetPhase(obs.PhaseSelect)
+	sel := q.runSelection(mp, pg)
 	list := sel.list
 	planNotes = append(planNotes, "access "+q.from.Name()+": "+sel.pathDesc)
 	if collect {
@@ -376,8 +401,20 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		if sel.probeKind != "" {
 			reg.IndexProbe(sel.probeKind, sel.probes)
 		}
+		// Audit the batch sizing: it assumed the whole table flows through
+		// the pipeline, and a selective predicate makes that estimate wrong
+		// by exactly the filter's factor.
+		decisions = append(decisions, obs.Decision{
+			Name:      "batch",
+			Chosen:    fmt.Sprintf("%d-tuple blocks", batchSize),
+			Inputs:    "table card=" + obs.FmtCount(float64(card)),
+			Estimate:  float64(card),
+			Actual:    float64(list.Len()),
+			Unit:      "rows",
+			Threshold: 2.0,
+		})
 	}
-	if analyze {
+	if buildTrace {
 		now := time.Now()
 		root.Add(&obs.TraceNode{
 			Op: "select", Detail: q.from.Name(), AccessPath: sel.pathDesc,
@@ -401,7 +438,8 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		if collect {
 			mp = &joinMeter
 		}
-		jr := q.runJoin(list, mp)
+		aq.SetPhase(obs.PhaseJoin)
+		jr := q.runJoin(list, mp, pg)
 		list = jr.list
 		planNotes = append(planNotes,
 			fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), q.join.table.Name(), jr.method))
@@ -415,8 +453,61 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			if jr.probeKind != "" {
 				reg.IndexProbe(jr.probeKind, jr.probes)
 			}
+			if jr.workers > 0 {
+				// Audit the worker count: the chooser assumed the join's work
+				// splits evenly; the live registry's max-rows-per-worker gauge
+				// is what one worker actually absorbed (0 when the registry is
+				// off — the decision degrades to informational).
+				decisions = append(decisions, obs.Decision{
+					Name:      "workers",
+					Chosen:    fmt.Sprintf("%d worker(s)", jr.workers),
+					Inputs:    "work rows=" + obs.FmtCount(float64(jr.workRows)),
+					Estimate:  float64(jr.workRows) / float64(jr.workers),
+					Actual:    float64(pg.MaxWorkerRows()),
+					Unit:      "rows/worker",
+					Threshold: 4.0,
+				})
+			}
+			if jr.radix.Fanout > 0 {
+				// Audit the radix plan twice: the bits were sized for the
+				// catalog's build cardinality (vs the rows actually
+				// partitioned), and the fan-out assumed uniform partitions
+				// (vs the largest one observed).
+				decisions = append(decisions,
+					obs.Decision{
+						Name:      "radix bits",
+						Chosen:    fmt.Sprintf("fanout=%d passes=%d", jr.radix.Fanout, jr.radix.Passes),
+						Inputs:    "build card=" + obs.FmtCount(float64(jr.buildEst)),
+						Estimate:  float64(jr.buildEst),
+						Actual:    float64(jr.radix.Rows),
+						Unit:      "build rows",
+						Threshold: 2.0,
+					},
+					obs.Decision{
+						Name:      "radix balance",
+						Chosen:    fmt.Sprintf("%d partitions", jr.radix.Fanout),
+						Inputs:    "rows=" + obs.FmtCount(float64(jr.radix.Rows)),
+						Estimate:  float64(jr.radix.Rows) / float64(jr.radix.Fanout),
+						Actual:    float64(jr.radix.MaxPart),
+						Unit:      "rows/partition",
+						Threshold: 4.0,
+					})
+				reg.ObserveRadixSkew(jr.radix.Skew())
+			}
+			if jr.method == plan.JoinSortMerge {
+				// Informational (Threshold 0): the sort-method crossover has
+				// no observable counterpart, but the audit still records what
+				// it picked and from which input size.
+				decisions = append(decisions, obs.Decision{
+					Name:     "sort method",
+					Chosen:   jr.sortMethod.String(),
+					Inputs:   "rows=" + obs.FmtCount(float64(jr.sortRows)),
+					Estimate: float64(jr.sortRows),
+					Unit:     "rows",
+				})
+			}
 		}
-		if analyze {
+		if buildTrace {
 			now := time.Now()
 			node := &obs.TraceNode{
 				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
@@ -437,11 +528,12 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	// Phase 3: projection via the result descriptor; duplicate
 	// elimination only if requested (§2.3: projection is implicit).
 	preProject := list.Len()
+	aq.SetPhase(obs.PhaseProject)
 	list, err := q.project(list)
 	if err != nil {
 		return nil, nil, err
 	}
-	if analyze {
+	if buildTrace {
 		now := time.Now()
 		root.Add(&obs.TraceNode{
 			Op: "project", Detail: fmt.Sprintf("%d column(s)", len(list.Descriptor().Cols)),
@@ -457,6 +549,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		} else {
 			mp = nil
 		}
+		aq.SetPhase(obs.PhaseDistinct)
 		preDistinct := list.Len()
 		distinctWorkers := plan.ChooseWorkers(q.parallelism(), list.Len())
 		distinctPath := "hash duplicate elimination"
@@ -476,11 +569,11 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			distinctPath = fmt.Sprintf("sort-scan duplicate elimination (%s)", sm)
 			planNotes = append(planNotes, "distinct: "+distinctPath)
 		} else if dbits := q.radixBits(list.Len()); dbits != nil {
-			list, dstats = parallel.RadixProjectHash(list, mp, distinctWorkers, dbits)
+			list, dstats = parallel.RadixProjectHash(list, mp, pg, distinctWorkers, dbits)
 			distinctPath = "radix-partitioned hash duplicate elimination"
 			planNotes = append(planNotes, "distinct: "+distinctPath)
 		} else if distinctWorkers > 1 {
-			list = parallel.ProjectHash(list, mp, distinctWorkers)
+			list = parallel.ProjectHash(list, mp, pg, distinctWorkers)
 			planNotes = append(planNotes,
 				fmt.Sprintf("distinct: partitioned hash duplicate elimination (%d workers)", distinctWorkers))
 		} else {
@@ -489,8 +582,20 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 		if collect {
 			total.Add(dupMeter)
+			if dstats.Fanout > 0 {
+				decisions = append(decisions, obs.Decision{
+					Name:      "radix balance",
+					Chosen:    fmt.Sprintf("%d partitions", dstats.Fanout),
+					Inputs:    "rows=" + obs.FmtCount(float64(dstats.Rows)),
+					Estimate:  float64(dstats.Rows) / float64(dstats.Fanout),
+					Actual:    float64(dstats.MaxPart),
+					Unit:      "rows/partition",
+					Threshold: 4.0,
+				})
+				reg.ObserveRadixSkew(dstats.Skew())
+			}
 		}
-		if analyze {
+		if buildTrace {
 			now := time.Now()
 			node := &obs.TraceNode{
 				Op: "distinct", AccessPath: distinctPath,
@@ -511,16 +616,59 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			shape += "+distinct"
 		}
 		wall := time.Since(start)
+		for _, d := range decisions {
+			reg.RecordDecision(d) // nil-safe: counts mispredictions
+		}
 		if reg != nil {
 			reg.RecordQuery(shape, scanned, int64(list.Len()), wall, total)
 		}
-		if analyze {
+		if buildTrace {
 			root.RowsIn = sel.rowsIn
 			root.RowsOut = list.Len()
 			trace.Total = wall
+			trace.Decisions = decisions
+		}
+		if slow != nil && wall >= slow.Threshold() {
+			slow.Record(obs.SlowQuery{
+				ID: aq.ID(), Text: qtext, Start: start, Wall: wall,
+				Rows: int64(list.Len()), Trace: trace,
+			})
 		}
 	}
+	if !analyze {
+		trace = nil // built only for the slow log; Run callers never see it
+	}
 	return &Result{list: list, plan: planNotes}, trace, nil
+}
+
+// text renders the query in a compact SQL-ish form for the live registry
+// and the slow-query log. Built once per query, and only when one of
+// those surfaces is on.
+func (q *Query) text() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.cols) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.from.Name())
+	if j := q.join; j != nil {
+		fmt.Fprintf(&b, " JOIN %s ON %s=%s", j.table.Name(), j.leftCol, j.rightCol)
+	}
+	for i, p := range q.preds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", p.column, p.op, p.val)
+	}
+	return b.String()
 }
 
 // Explain plans the query and describes the expected choices without
@@ -596,10 +744,11 @@ type selExec struct {
 
 // runSelection evaluates the from-table predicates, producing a
 // single-source temp list. The meter, when non-nil, accumulates the §3.1
-// operation counts of the index probe and the residual filter.
-func (q *Query) runSelection(m *meter.Counters) selExec {
+// operation counts of the index probe and the residual filter; pg, when
+// non-nil, is the live query's Progress for rows-processed gauges.
+func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress) selExec {
 	t := q.from
-	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m}
+	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m, Prog: pg}
 	if len(q.preds) == 0 {
 		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 {
 			list := parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
@@ -785,11 +934,15 @@ type joinExec struct {
 	probes       int64
 	radix        radix.Stats     // radix partitioning stats (zero unless radix ran)
 	sortMethod   plan.SortMethod // sort substrate (meaningful for sort-merge)
+	workRows     int             // rows the worker chooser divided (outer + inner)
+	buildEst     int             // build cardinality the radix bits were sized for
+	sortRows     int             // input size the sort-method crossover saw
 }
 
 // runJoin joins the selection result (left) with the join table (right).
-// The meter, when non-nil, accumulates the join's §3.1 operation counts.
-func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
+// The meter, when non-nil, accumulates the join's §3.1 operation counts;
+// pg, when non-nil, is the live query's Progress.
+func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progress) joinExec {
 	j := q.join
 	outer := exec.ListColumn{List: left, Column: 0}
 	fullOuter := len(q.preds) == 0 // outer is the entire from-table
@@ -804,9 +957,9 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 	spec := exec.JoinSpec{
 		OuterName: q.from.Name(), InnerName: j.table.Name(),
 		OuterField: j.leftField, InnerField: j.rightField,
-		Meter: m,
+		Meter: m, Prog: pg,
 	}
-	out := joinExec{method: choice, rowsIn: outer.Len()}
+	out := joinExec{method: choice, rowsIn: outer.Len(), workRows: outer.Len() + innerCard}
 	switch choice {
 	case plan.JoinPrecomputed:
 		// Precomputed joins emit at most one row per outer tuple, so the
@@ -835,6 +988,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 			spec.Parallelism = w
 			out.method = plan.JoinRadixHash
 			out.workers = w
+			out.buildEst = innerCard
 			out.list, out.radix = parallel.RadixHashJoin(
 				parallel.ListSource{List: left, Column: 0},
 				parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
@@ -858,6 +1012,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 		w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard)
 		spec.Parallelism = w
 		out.workers = w
+		out.buildEst = innerCard
 		out.list, out.radix = parallel.RadixHashJoin(
 			parallel.ListSource{List: left, Column: 0},
 			parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
@@ -870,6 +1025,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters) joinExec {
 		sm := q.sortMethodFor(max(outer.Len(), innerCard), plan.DefaultSortPrefixBytes)
 		spec.SortMethod = sm
 		out.sortMethod = sm
+		out.sortRows = max(outer.Len(), innerCard)
 		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
 			spec.Parallelism = w
 			out.workers = w
