@@ -26,6 +26,7 @@ var All = []Experiment{
 	{ID: "batch", Exhibit: "Extension — tuple-at-a-time vs batch-at-a-time execution", Run: BatchExecution},
 	{ID: "radix", Exhibit: "Extension — chained vs cache-conscious radix hash join", Run: RadixJoinSweep},
 	{ID: "sort", Exhibit: "Extension — comparator vs normalized-key radix sort engine", Run: SortEngineSweep},
+	{ID: "agg", Exhibit: "Extension — grouped aggregation and top-k on the radix substrate", Run: AggTopKSweep},
 }
 
 // Register adds an experiment to All. Experiments that exercise the

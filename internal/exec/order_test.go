@@ -1,0 +1,153 @@
+package exec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// orderList builds a (s string, n int, f float) list with NULLs sprinkled
+// into every column — the adversarial shape for normalized-key encoding.
+func orderList(t testing.TB, n int, seed int64) *storage.TempList {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fields := []storage.FieldDef{
+		{Name: "s", Type: storage.Str},
+		{Name: "n", Type: storage.Int},
+		{Name: "f", Type: storage.Float},
+	}
+	rel, err := storage.NewRelation("o", storage.MustSchema(fields...), storage.Config{}, storage.NewIDGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]storage.ColRef, len(fields))
+	for i, f := range fields {
+		cols[i] = storage.ColRef{Source: 0, Field: i, Name: f.Name}
+	}
+	list := storage.MustTempListHint(storage.Descriptor{Sources: []string{"o"}, Cols: cols}, n)
+	for i := 0; i < n; i++ {
+		row := []storage.Value{
+			storage.StringValue(fmt.Sprintf("s%02d", rng.Intn(40))),
+			storage.IntValue(int64(rng.Intn(200) - 100)),
+			storage.FloatValue(float64(rng.Intn(1000)) / 8),
+		}
+		for c := range row {
+			if rng.Intn(12) == 0 {
+				row[c] = storage.NullValue
+			}
+		}
+		tp, err := rel.Insert(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list.AppendOne(tp)
+	}
+	return list
+}
+
+// referenceOrder sorts row ordinals with the straightforward stable
+// value-compare — the oracle both sort substrates must match exactly.
+func referenceOrder(list *storage.TempList, keys []exec.OrderKey) []int32 {
+	rows := make([]int32, list.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for _, k := range keys {
+			c := storage.Compare(list.Value(int(rows[a]), k.Col), list.Value(int(rows[b]), k.Col))
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return rows[a] < rows[b]
+	})
+	return rows
+}
+
+func sameRows(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %d, want %d\n got=%v\nwant=%v", name, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+var keySets = []struct {
+	name string
+	keys []exec.OrderKey
+}{
+	{"int asc", []exec.OrderKey{{Col: 1}}},
+	{"int desc", []exec.OrderKey{{Col: 1, Desc: true}}},
+	{"str desc", []exec.OrderKey{{Col: 0, Desc: true}}},
+	{"float asc", []exec.OrderKey{{Col: 2}}},
+	{"mixed str desc, int asc", []exec.OrderKey{{Col: 0, Desc: true}, {Col: 1}}},
+	{"mixed int asc, float desc", []exec.OrderKey{{Col: 1}, {Col: 2, Desc: true}}},
+	{"all three, middle desc", []exec.OrderKey{{Col: 0}, {Col: 1, Desc: true}, {Col: 2}}},
+}
+
+// TestOrderRowsMatchesReference: both sort substrates produce exactly the
+// reference order — including DESC columns, NULLs, and the ordinal tie.
+func TestOrderRowsMatchesReference(t *testing.T) {
+	list := orderList(t, 900, 11)
+	for _, ks := range keySets {
+		want := referenceOrder(list, ks.keys)
+		m := &meter.Counters{}
+		sameRows(t, ks.name+"/quick", exec.OrderRows(list, ks.keys, plan.SortQuick, m), want)
+		sameRows(t, ks.name+"/radix", exec.OrderRows(list, ks.keys, plan.SortRadixKey, m), want)
+	}
+}
+
+// TestTopKIsSortPrefix: the bounded heap's output is the exact prefix of
+// the full sort for every k, including k=0, k=1, k=n and k>n.
+func TestTopKIsSortPrefix(t *testing.T) {
+	list := orderList(t, 700, 23)
+	n := list.Len()
+	for _, ks := range keySets {
+		want := referenceOrder(list, ks.keys)
+		for _, k := range []int{0, 1, 7, n / 8, n / 2, n, n + 50} {
+			m := &meter.Counters{}
+			got := exec.TopKRows(list, ks.keys, k, m)
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			sameRows(t, fmt.Sprintf("%s k=%d", ks.name, k), got, want[:kk])
+			if k > 0 && k < n && m.HeapPushes == 0 {
+				t.Fatalf("%s k=%d: HeapPushes not metered", ks.name, k)
+			}
+		}
+	}
+}
+
+// TestTopKMergeMatchesSerial: per-chunk heaps merged through the final
+// heap equal the serial top-k — the parallel executor's contract.
+func TestTopKMergeMatchesSerial(t *testing.T) {
+	list := orderList(t, 800, 31)
+	n := list.Len()
+	for _, ks := range keySets {
+		for _, k := range []int{1, 13, 64} {
+			m := &meter.Counters{}
+			want := exec.TopKRows(list, ks.keys, k, m)
+			const chunks = 4
+			cands := make([][]int32, chunks)
+			for c := 0; c < chunks; c++ {
+				cands[c] = exec.TopKRowsRange(list, ks.keys, k, n*c/chunks, n*(c+1)/chunks, m)
+			}
+			got := exec.TopKMergeRows(list, ks.keys, k, cands, m)
+			sameRows(t, fmt.Sprintf("%s merge k=%d", ks.name, k), got, want)
+		}
+	}
+}

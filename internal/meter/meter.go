@@ -42,6 +42,9 @@ type Counters struct {
 	SortPasses   int64 // radix-sort scatter passes executed
 	SortRuns     int64 // comparator-sorted runs (small runs + tie-breaks)
 	KeyBytes     int64 // normalized sort-key bytes encoded
+	Groups       int64 // distinct groups produced by grouped aggregation
+	AggProbes    int64 // agg-table probe steps (open-addressing slot visits)
+	HeapPushes   int64 // bounded top-k heap insertions (sift operations)
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -141,6 +144,34 @@ func (c *Counters) AddKeyBytes(n int64) {
 	}
 }
 
+// AddGroup records n distinct groups produced by a grouped aggregation.
+// Safe on a nil receiver.
+func (c *Counters) AddGroup(n int64) {
+	if c != nil {
+		c.Groups += n
+	}
+}
+
+// AddAggProbe records n open-addressing probe steps in an aggregation
+// table: one per slot visited while locating a group, so AggProbes/rows
+// exposes the table's effective load factor the way the paper's hash
+// counts exposed chain length. Safe on a nil receiver.
+func (c *Counters) AddAggProbe(n int64) {
+	if c != nil {
+		c.AggProbes += n
+	}
+}
+
+// AddHeapPush records n bounded-heap insertions performed by a top-k
+// operator: each is one sift through a k-element heap, so HeapPushes
+// against rows-in exposes how much of the input survived the heap's
+// threshold cutoff. Safe on a nil receiver.
+func (c *Counters) AddHeapPush(n int64) {
+	if c != nil {
+		c.HeapPushes += n
+	}
+}
+
 // Reset zeroes every counter. Safe on a nil receiver.
 func (c *Counters) Reset() {
 	if c != nil {
@@ -165,6 +196,9 @@ func (c *Counters) Add(other Counters) {
 	c.SortPasses += other.SortPasses
 	c.SortRuns += other.SortRuns
 	c.KeyBytes += other.KeyBytes
+	c.Groups += other.Groups
+	c.AggProbes += other.AggProbes
+	c.HeapPushes += other.HeapPushes
 }
 
 // String renders the counters in a compact single line.
@@ -172,7 +206,7 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "meter(nil)"
 	}
-	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d rpass=%d part=%d spass=%d srun=%d keyB=%d",
+	return fmt.Sprintf("cmp=%d move=%d hash=%d node=%d alloc=%d rot=%d batch=%d rpass=%d part=%d spass=%d srun=%d keyB=%d grp=%d aprobe=%d hpush=%d",
 		c.Comparisons, c.DataMoves, c.HashCalls, c.NodesVisited, c.Allocations, c.Rotations, c.Batches,
-		c.RadixPasses, c.Partitions, c.SortPasses, c.SortRuns, c.KeyBytes)
+		c.RadixPasses, c.Partitions, c.SortPasses, c.SortRuns, c.KeyBytes, c.Groups, c.AggProbes, c.HeapPushes)
 }

@@ -26,6 +26,9 @@ type SharedCounters struct {
 	sortPasses   atomic.Int64
 	sortRuns     atomic.Int64
 	keyBytes     atomic.Int64
+	groups       atomic.Int64
+	aggProbes    atomic.Int64
+	heapPushes   atomic.Int64
 }
 
 // AddCompare records n comparisons. Safe on a nil receiver.
@@ -113,6 +116,27 @@ func (c *SharedCounters) AddKeyBytes(n int64) {
 	}
 }
 
+// AddGroup records n distinct groups produced. Safe on a nil receiver.
+func (c *SharedCounters) AddGroup(n int64) {
+	if c != nil {
+		c.groups.Add(n)
+	}
+}
+
+// AddAggProbe records n agg-table probe steps. Safe on a nil receiver.
+func (c *SharedCounters) AddAggProbe(n int64) {
+	if c != nil {
+		c.aggProbes.Add(n)
+	}
+}
+
+// AddHeapPush records n bounded-heap insertions. Safe on a nil receiver.
+func (c *SharedCounters) AddHeapPush(n int64) {
+	if c != nil {
+		c.heapPushes.Add(n)
+	}
+}
+
 // Add atomically folds a finished operator's private Counters into the
 // shared accumulator. Safe on a nil receiver.
 func (c *SharedCounters) Add(other Counters) {
@@ -131,6 +155,9 @@ func (c *SharedCounters) Add(other Counters) {
 	c.sortPasses.Add(other.SortPasses)
 	c.sortRuns.Add(other.SortRuns)
 	c.keyBytes.Add(other.KeyBytes)
+	c.groups.Add(other.Groups)
+	c.aggProbes.Add(other.AggProbes)
+	c.heapPushes.Add(other.HeapPushes)
 }
 
 // Reset zeroes every counter. Safe on a nil receiver. Not atomic with
@@ -151,6 +178,9 @@ func (c *SharedCounters) Reset() {
 	c.sortPasses.Store(0)
 	c.sortRuns.Store(0)
 	c.keyBytes.Store(0)
+	c.groups.Store(0)
+	c.aggProbes.Store(0)
+	c.heapPushes.Store(0)
 }
 
 // Snapshot returns a point-in-time copy as a plain Counters value. Safe on
@@ -172,6 +202,9 @@ func (c *SharedCounters) Snapshot() Counters {
 		SortPasses:   c.sortPasses.Load(),
 		SortRuns:     c.sortRuns.Load(),
 		KeyBytes:     c.keyBytes.Load(),
+		Groups:       c.groups.Load(),
+		AggProbes:    c.aggProbes.Load(),
+		HeapPushes:   c.heapPushes.Load(),
 	}
 }
 

@@ -111,11 +111,13 @@ const (
 	PhasePlan int32 = iota
 	PhaseSelect
 	PhaseJoin
+	PhaseGroup
 	PhaseProject
 	PhaseDistinct
+	PhaseOrder
 )
 
-var phaseNames = [...]string{"plan", "select", "join", "project", "distinct"}
+var phaseNames = [...]string{"plan", "select", "join", "group", "project", "distinct", "order"}
 
 // ActiveQuery is one in-flight query in the live registry: identity,
 // query text, start time, current phase, and live Progress. All methods

@@ -140,6 +140,16 @@ func (n *TraceNode) Line() string {
 		// scatter passes, comparator-sorted runs, and key bytes encoded.
 		fmt.Fprintf(&b, "  sort: passes=%d runs=%d keyB=%d", n.Ops.SortPasses, n.Ops.SortRuns, n.Ops.KeyBytes)
 	}
+	if n.Ops.Groups > 0 {
+		// Grouped aggregation ran here: distinct groups out and the
+		// open-addressing probe steps spent locating them.
+		fmt.Fprintf(&b, "  agg: GroupsOut=%d AggTableProbes=%d", n.Ops.Groups, n.Ops.AggProbes)
+	}
+	if n.Ops.HeapPushes > 0 {
+		// A bounded top-k heap ran here: each push is one sift through
+		// the k-element heap, so pushes ≪ rows-in shows the cutoff working.
+		fmt.Fprintf(&b, "  topk: HeapPushes=%d", n.Ops.HeapPushes)
+	}
 	if n.Ops != (meter.Counters{}) {
 		fmt.Fprintf(&b, "  [%s]", compactOps(n.Ops))
 	}
@@ -166,6 +176,9 @@ func compactOps(c meter.Counters) string {
 	add("spass", c.SortPasses)
 	add("srun", c.SortRuns)
 	add("keyB", c.KeyBytes)
+	add("grp", c.Groups)
+	add("aprobe", c.AggProbes)
+	add("hpush", c.HeapPushes)
 	if len(parts) == 0 {
 		return "no ops"
 	}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// aggList builds a (grp int, val int) list; ~10% NULL values.
+func aggList(t testing.TB, n int, groups int, seed int64) *storage.TempList {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fields := []storage.FieldDef{
+		{Name: "grp", Type: storage.Int},
+		{Name: "val", Type: storage.Int},
+	}
+	rel, err := storage.NewRelation("a", storage.MustSchema(fields...), storage.Config{}, storage.NewIDGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []storage.ColRef{
+		{Source: 0, Field: 0, Name: "grp"},
+		{Source: 0, Field: 1, Name: "val"},
+	}
+	list := storage.MustTempListHint(storage.Descriptor{Sources: []string{"a"}, Cols: cols}, n)
+	for i := 0; i < n; i++ {
+		val := storage.NullValue
+		if rng.Intn(10) != 0 {
+			val = storage.IntValue(int64(rng.Intn(10000) - 5000))
+		}
+		tp, err := rel.Insert([]storage.Value{storage.IntValue(int64(rng.Intn(groups))), val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		list.AppendOne(tp)
+	}
+	return list
+}
+
+func canonicalAgg(list *storage.TempList, specs []agg.Spec, res agg.Result) map[int64][]string {
+	out := make(map[int64][]string, res.Groups())
+	for g := 0; g < res.Groups(); g++ {
+		finals := make([]string, len(specs))
+		for s := range specs {
+			finals[s] = fmt.Sprint(agg.Final(specs[s].Kind, res.Cells[g*len(specs)+s]))
+		}
+		out[list.Value(int(res.Reps[g]), 0).Int()] = finals
+	}
+	return out
+}
+
+// TestParallelHashAggMatchesSerial: the partial-aggregate + barrier-merge
+// path must produce the identical group → finals mapping as the serial
+// grouper, at every worker count.
+func TestParallelHashAggMatchesSerial(t *testing.T) {
+	specs := []agg.Spec{
+		{Kind: agg.Count, Col: -1, Name: "COUNT(*)"},
+		{Kind: agg.Count, Col: 1, Name: "COUNT(val)"},
+		{Kind: agg.Sum, Col: 1, Name: "SUM(val)"},
+		{Kind: agg.Min, Col: 1, Name: "MIN(val)"},
+		{Kind: agg.Max, Col: 1, Name: "MAX(val)"},
+		{Kind: agg.Avg, Col: 1, Name: "AVG(val)"},
+	}
+	list := aggList(t, 20000, 300, 5)
+	gcols := []int{0}
+	var sm meter.Counters
+	sg := agg.Get()
+	want := canonicalAgg(list, specs, sg.Run(list, gcols, specs, nil, &sm))
+	agg.Put(sg)
+	for _, w := range []int{1, 2, 4, 8} {
+		var pm meter.Counters
+		pg := agg.Get()
+		got := canonicalAgg(list, specs, HashAgg(nil, pg, list, gcols, specs, nil, w, &pm))
+		agg.Put(pg)
+		if len(got) != len(want) {
+			t.Fatalf("w=%d: %d groups, want %d", w, len(got), len(want))
+		}
+		for k, wv := range want {
+			if fmt.Sprint(got[k]) != fmt.Sprint(wv) {
+				t.Fatalf("w=%d group %d: %v, want %v", w, k, got[k], wv)
+			}
+		}
+		if pm.Groups != int64(len(want)) {
+			t.Fatalf("w=%d: Groups=%d, want %d (workers' local tallies must not double-count)", w, pm.Groups, len(want))
+		}
+	}
+}
+
+// TestParallelTopKMatchesSerial: per-worker heaps + final merge equal the
+// serial bounded heap exactly (the ordinal tie-break makes order fully
+// deterministic).
+func TestParallelTopKMatchesSerial(t *testing.T) {
+	list := aggList(t, 12000, 500, 9)
+	keys := []exec.OrderKey{{Col: 1, Desc: true}, {Col: 0}}
+	for _, k := range []int{1, 10, 100} {
+		var sm meter.Counters
+		want := exec.TopKRows(list, keys, k, &sm)
+		for _, w := range []int{1, 2, 4, 8} {
+			var pm meter.Counters
+			got := TopK(nil, list, keys, k, w, &pm)
+			if len(got) != len(want) {
+				t.Fatalf("w=%d k=%d: %d rows, want %d", w, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("w=%d k=%d row %d: %d, want %d", w, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

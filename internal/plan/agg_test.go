@@ -1,0 +1,79 @@
+package plan
+
+import "testing"
+
+func TestChooseAggMethod(t *testing.T) {
+	// Below the crossover: one flat table, no partitioning sweep.
+	if m, bits := ChooseAggMethod(1000, AggConfig{}); m != AggFlatTable || bits != nil {
+		t.Fatalf("small input: %v %v, want flat/nil", m, bits)
+	}
+	if m, _ := ChooseAggMethod(DefaultAggMinRows-1, AggConfig{}); m != AggFlatTable {
+		t.Fatalf("just under MinRows: %v, want flat", m)
+	}
+	// At and above the crossover: partitioned, with enough bits that one
+	// partition's worst-case table fits the L2 budget.
+	m, bits := ChooseAggMethod(1<<20, AggConfig{})
+	if m != AggRadixPartitioned || len(bits) == 0 {
+		t.Fatalf("1M rows: %v %v, want partitioned with bits", m, bits)
+	}
+	var total uint
+	for _, b := range bits {
+		if b == 0 || b > DefaultRadixMaxPassBits {
+			t.Fatalf("pass width %d out of (0, %d]", b, DefaultRadixMaxPassBits)
+		}
+		total += b
+	}
+	if total > DefaultRadixMaxBits {
+		t.Fatalf("total bits %d exceed cap %d", total, DefaultRadixMaxBits)
+	}
+	// rows/2^total * GroupBytes must fit the budget.
+	perPart := (1 << 20 >> total) * DefaultAggGroupBytes
+	if perPart > DefaultRadixL2Bytes && total < DefaultRadixMaxBits {
+		t.Fatalf("partition working set %d exceeds L2 budget with bits to spare", perPart)
+	}
+	// MinRows=1 forces partitioning for any input — the test hook.
+	if m, _ := ChooseAggMethod(100, AggConfig{MinRows: 1}); m != AggRadixPartitioned {
+		t.Fatalf("MinRows=1: %v, want partitioned", m)
+	}
+}
+
+func TestChooseTopK(t *testing.T) {
+	cases := []struct {
+		rows, k int
+		want    TopKMethod
+	}{
+		{1 << 20, 0, TopKFullSort},          // no limit → full sort
+		{1 << 20, -1, TopKFullSort},         // no limit
+		{1 << 20, 10, TopKHeap},             // tiny k over huge input
+		{1 << 20, 64 << 10, TopKHeap},       // exactly MaxHeapK, ratio fine
+		{1 << 20, 64<<10 + 1, TopKFullSort}, // past the heap-size cap
+		{100, 50, TopKFullSort},             // k > rows/8 → sort
+		{800, 100, TopKHeap},                // k == rows/8 boundary
+		{799, 100, TopKFullSort},            // one row short of the ratio
+	}
+	for _, c := range cases {
+		if got := ChooseTopK(c.rows, c.k, TopKConfig{}); got != c.want {
+			t.Fatalf("ChooseTopK(%d, %d) = %v, want %v", c.rows, c.k, got, c.want)
+		}
+	}
+	// Knobs steer the crossover.
+	if got := ChooseTopK(1000, 500, TopKConfig{HeapDivisor: 2}); got != TopKHeap {
+		t.Fatalf("HeapDivisor=2: %v, want heap", got)
+	}
+	if got := ChooseTopK(1<<20, 100, TopKConfig{MaxHeapK: 50}); got != TopKFullSort {
+		t.Fatalf("MaxHeapK=50: %v, want sort", got)
+	}
+}
+
+func TestAggTopKStringers(t *testing.T) {
+	if AggFlatTable.String() == "" || AggRadixPartitioned.String() == "" ||
+		TopKFullSort.String() == "" || TopKHeap.String() == "" {
+		t.Fatal("empty method name")
+	}
+	if AggFlatTable.String() == AggRadixPartitioned.String() {
+		t.Fatal("agg methods share a name")
+	}
+	if TopKFullSort.String() == TopKHeap.String() {
+		t.Fatal("top-k methods share a name")
+	}
+}

@@ -84,17 +84,40 @@ type Join struct {
 	RightCol string // column of the joined table, or "" for SELF
 }
 
+// SelectItem is one output column of a SELECT list: a plain column, or an
+// aggregate function over a column (Agg non-empty). Col "*" appears only
+// as COUNT(*).
+type SelectItem struct {
+	Agg string // "", or COUNT / SUM / MIN / MAX / AVG
+	Col string
+}
+
+// OrderItem is one ORDER BY term: an output column name, or a 1-based
+// output ordinal written as digits (SQL's "ORDER BY 2").
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
 // Select is SELECT [DISTINCT] cols FROM table [JOIN ...] [WHERE ...]
-// [LIMIT n]; Explain marks EXPLAIN SELECT, and Analyze additionally marks
-// EXPLAIN ANALYZE SELECT (execute and report the operator trace).
+// [GROUP BY ...] [ORDER BY ...] [LIMIT n]; Explain marks EXPLAIN SELECT,
+// and Analyze additionally marks EXPLAIN ANALYZE SELECT (execute and
+// report the operator trace).
+//
+// A select list without aggregates populates Cols (empty = *) and leaves
+// Items nil; a list containing any aggregate populates Items with the
+// full list, in order, and leaves Cols nil.
 type Select struct {
 	Explain  bool
 	Analyze  bool
 	Distinct bool
-	Cols     []string // empty = *
+	Cols     []string     // plain column list; empty = *
+	Items    []SelectItem // full list when aggregates are present
 	From     string
 	Join     *Join
 	Where    []Cond
+	GroupBy  []string
+	OrderBy  []OrderItem
 	Limit    int // -1 = none
 }
 

@@ -1,0 +1,117 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSelectAggregates(t *testing.T) {
+	st := parse(t, `SELECT dept, COUNT(*), AVG(sal) FROM emp GROUP BY dept ORDER BY 2 DESC LIMIT 10`)
+	sel := st.(*Select)
+	if sel.Cols != nil {
+		t.Fatalf("Cols must be nil when aggregates are present: %v", sel.Cols)
+	}
+	wantItems := []SelectItem{{Col: "dept"}, {Agg: "COUNT", Col: "*"}, {Agg: "AVG", Col: "sal"}}
+	if fmt.Sprint(sel.Items) != fmt.Sprint(wantItems) {
+		t.Fatalf("items %+v, want %+v", sel.Items, wantItems)
+	}
+	if fmt.Sprint(sel.GroupBy) != fmt.Sprint([]string{"dept"}) {
+		t.Fatalf("group by %v", sel.GroupBy)
+	}
+	if len(sel.OrderBy) != 1 || sel.OrderBy[0].Col != "2" || !sel.OrderBy[0].Desc {
+		t.Fatalf("order by %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Fatalf("limit %d", sel.Limit)
+	}
+}
+
+func TestSelectOrderByMixed(t *testing.T) {
+	sel := parse(t, `SELECT name, age FROM emp ORDER BY age DESC, emp.name ASC, 1`).(*Select)
+	want := []OrderItem{{Col: "age", Desc: true}, {Col: "emp.name"}, {Col: "1"}}
+	if fmt.Sprint(sel.OrderBy) != fmt.Sprint(want) {
+		t.Fatalf("order by %+v, want %+v", sel.OrderBy, want)
+	}
+	if fmt.Sprint(sel.Cols) != fmt.Sprint([]string{"name", "age"}) || sel.Items != nil {
+		t.Fatalf("cols %v items %v", sel.Cols, sel.Items)
+	}
+}
+
+func TestGroupByWithoutAggregates(t *testing.T) {
+	sel := parse(t, `SELECT dept FROM emp GROUP BY dept`).(*Select)
+	if fmt.Sprint(sel.GroupBy) != fmt.Sprint([]string{"dept"}) || sel.Items != nil {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+// TestAggKeywordAsColumn: an aggregate keyword not followed by "(" is an
+// ordinary column name.
+func TestAggKeywordAsColumn(t *testing.T) {
+	sel := parse(t, `SELECT count, min FROM emp`).(*Select)
+	if fmt.Sprint(sel.Cols) != fmt.Sprint([]string{"count", "min"}) || sel.Items != nil {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestWhereQualifiedColumn(t *testing.T) {
+	sel := parse(t, `SELECT * FROM emp WHERE emp.age > 40 AND name = 'Vera'`).(*Select)
+	if len(sel.Where) != 2 || sel.Where[0].Column != "emp.age" || sel.Where[1].Column != "name" {
+		t.Fatalf("%+v", sel.Where)
+	}
+}
+
+func TestGrammarErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`SELECT SUM(*) FROM emp`, "only COUNT takes *"},
+		{`SELECT COUNT( FROM emp`, "expected"},
+		{`SELECT dept FROM emp GROUP dept`, "expected BY"},
+		{`SELECT dept FROM emp ORDER dept`, "expected BY"},
+		{`SELECT dept FROM emp ORDER BY 0`, "positive integer"},
+		{`SELECT dept FROM emp ORDER BY -2`, "positive integer"},
+		{`SELECT * FROM emp LIMIT -1`, "LIMIT"},
+		{`SELECT * FROM emp LIMIT x`, "LIMIT needs a number"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Parse(%q): err=%v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestLexNumberErrors pins the lexer's number validation: a second
+// decimal point, a trailing one, and a bare '-' are reported at their
+// offset instead of surviving to a downstream ParseFloat failure.
+func TestLexNumberErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`SELECT * FROM emp WHERE age = 1.2.3`, "more than one decimal point"},
+		{`SELECT * FROM emp WHERE age = 1.`, "trailing decimal point"},
+		{`SELECT * FROM emp WHERE age = -`, "bare '-'"},
+		{`SELECT * FROM emp WHERE age = - 5`, "bare '-'"},
+		{`INSERT INTO t VALUES (3.)`, "trailing decimal point"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Parse(%q): err=%v, want substring %q", c.src, err, c.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("Parse(%q): error %q does not report a position", c.src, err)
+		}
+	}
+	// Well-formed numbers still lex.
+	for _, src := range []string{
+		`SELECT * FROM emp WHERE age = -5`,
+		`SELECT * FROM emp WHERE age = 1.25`,
+		`SELECT * FROM emp WHERE age = -0.5`,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+	}
+}

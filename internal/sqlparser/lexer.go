@@ -1,8 +1,9 @@
 // Package sqlparser implements a small SQL dialect over the MM-DBMS:
 // CREATE TABLE / CREATE INDEX, INSERT, SELECT (with one JOIN, WHERE
-// conjunctions, DISTINCT, LIMIT), UPDATE, DELETE, and EXPLAIN. The parser
-// produces a plain AST; the mmdb package executes it through the same
-// planner as the fluent query API.
+// conjunctions, DISTINCT, aggregates with GROUP BY, ORDER BY with
+// ASC/DESC and output ordinals, LIMIT), UPDATE, DELETE, and EXPLAIN. The
+// parser produces a plain AST; the mmdb package executes it through the
+// same planner as the fluent query API.
 //
 // The dialect's one extension is the REF(table, column, value) expression,
 // which resolves to a tuple pointer at execution time — the §2.1
@@ -55,8 +56,10 @@ func lex(src string) ([]token, error) {
 			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
 				l.pos++
 			}
-		case isDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && isDigit(rune(l.src[l.pos+1]))):
-			l.lexNumber()
+		case isDigit(rune(c)) || c == '-':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
 		case isIdentStart(rune(c)):
 			l.lexIdent()
 		default:
@@ -96,15 +99,39 @@ func (l *lexer) lexString() error {
 	return fmt.Errorf("sql: unterminated string at offset %d", start)
 }
 
-func (l *lexer) lexNumber() {
+// lexNumber scans [-]digits[.digits]: exactly one optional decimal point,
+// digits required on both sides of it, and a leading '-' only with digits
+// attached. Malformed shapes (bare '-', '1.', '1.2.3') are errors at the
+// token's position rather than tokens a later ParseFloat call chokes on.
+func (l *lexer) lexNumber() error {
 	start := l.pos
 	if l.src[l.pos] == '-' {
 		l.pos++
 	}
-	for l.pos < len(l.src) && (isDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+	intDigits := 0
+	for l.pos < len(l.src) && isDigit(rune(l.src[l.pos])) {
 		l.pos++
+		intDigits++
+	}
+	if intDigits == 0 {
+		return fmt.Errorf("sql: bare '-' is not a number at offset %d", start)
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		fracDigits := 0
+		for l.pos < len(l.src) && isDigit(rune(l.src[l.pos])) {
+			l.pos++
+			fracDigits++
+		}
+		if fracDigits == 0 {
+			return fmt.Errorf("sql: number %q has a trailing decimal point at offset %d", l.src[start:l.pos], start)
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' {
+			return fmt.Errorf("sql: number %q has more than one decimal point at offset %d", l.src[start:l.pos+1], start)
+		}
 	}
 	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
 }
 
 func (l *lexer) lexIdent() {

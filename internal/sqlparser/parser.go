@@ -29,7 +29,17 @@ type parser struct {
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// next consumes and returns the current token. EOF is never consumed —
+// the token slice's sentinel must stay indexable for later peeks (a
+// fuzz-found crash: an error path peeking after next() swallowed EOF).
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -312,19 +322,29 @@ func (p *parser) selectStmt() (*Select, error) {
 	sel := &Select{Limit: -1}
 	sel.Distinct = p.kw("distinct")
 	// Column list or *.
+	var items []SelectItem
+	hasAgg := false
 	if p.punct("*") {
 		// all columns
 	} else {
 		for {
-			col, err := p.qualifiedName()
+			item, err := p.selectItem()
 			if err != nil {
 				return nil, err
 			}
-			sel.Cols = append(sel.Cols, col)
+			items = append(items, item)
+			hasAgg = hasAgg || item.Agg != ""
 			if p.punct(",") {
 				continue
 			}
 			break
+		}
+	}
+	if hasAgg {
+		sel.Items = items
+	} else {
+		for _, it := range items {
+			sel.Cols = append(sel.Cols, it.Col)
 		}
 	}
 	if err := p.expectKw("from"); err != nil {
@@ -344,6 +364,38 @@ func (p *parser) selectStmt() (*Select, error) {
 			return nil, err
 		}
 	}
+	if p.kw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.orderItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+	}
 	if p.kw("limit") {
 		t := p.next()
 		if t.kind != tokNumber {
@@ -356,6 +408,71 @@ func (p *parser) selectStmt() (*Select, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// selectItem parses one select-list entry: a (qualified) column, or an
+// aggregate FN(col) / COUNT(*). An aggregate keyword not followed by "("
+// is an ordinary identifier — a column may be named count.
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		fn := strings.ToUpper(t.text)
+		switch fn {
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			if n := p.toks[p.i+1]; n.kind == tokPunct && n.text == "(" {
+				p.i += 2 // the function name and "("
+				col := ""
+				if p.punct("*") {
+					col = "*"
+				} else {
+					c, err := p.qualifiedName()
+					if err != nil {
+						return SelectItem{}, err
+					}
+					col = c
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return SelectItem{}, err
+				}
+				if col == "*" && fn != "COUNT" {
+					return SelectItem{}, p.errf("%s(*) is not valid — only COUNT takes *", fn)
+				}
+				return SelectItem{Agg: fn, Col: col}, nil
+			}
+		}
+	}
+	col, err := p.qualifiedName()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+// orderItem parses one ORDER BY term: a (qualified) column name or a
+// 1-based output ordinal, optionally followed by ASC or DESC.
+func (p *parser) orderItem() (OrderItem, error) {
+	var col string
+	if t := p.peek(); t.kind == tokNumber {
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return OrderItem{}, p.errf("ORDER BY ordinal must be a positive integer, got %q", t.text)
+		}
+		p.i++
+		col = t.text
+	} else {
+		c, err := p.qualifiedName()
+		if err != nil {
+			return OrderItem{}, err
+		}
+		col = c
+	}
+	desc := false
+	if p.kw("desc") {
+		desc = true
+	} else {
+		p.kw("asc") // explicit ASC is the default
+	}
+	return OrderItem{Col: col, Desc: desc}, nil
 }
 
 // qualifiedName parses ident[.ident].
@@ -428,7 +545,7 @@ func (p *parser) joinSide() (table, col string, err error) {
 func (p *parser) whereConds() ([]Cond, error) {
 	var out []Cond
 	for {
-		col, err := p.ident()
+		col, err := p.qualifiedName()
 		if err != nil {
 			return nil, err
 		}

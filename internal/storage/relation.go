@@ -56,6 +56,18 @@ type Relation struct {
 	observers    []Observer
 	insertChecks []func(vals []Value) error
 	updateChecks []func(t *Tuple, f int, v Value) error
+
+	// Tuple headers and field arrays are carved from chunked slabs rather
+	// than allocated one heap object apiece. Consecutively inserted tuples
+	// land adjacent in memory, so a scan or column gather in row order
+	// touches sequential cache lines instead of chasing two dependent
+	// pointer misses per value — the in-memory analogue of the paper's
+	// per-partition heap space (§2.1). Chunks are fixed once handed out
+	// (append never grows a full chunk), so &chunk[i] stays stable for the
+	// tuple's lifetime, preserving the tuple-pointer contract.
+	tslab    []Tuple
+	varena   []Value
+	slabRows int // chunk size in tuples, doubling up to slabMaxRows
 }
 
 // AddInsertCheck registers a validator run before every insert; a non-nil
@@ -101,6 +113,36 @@ func (r *Relation) Partitions() []*Partition { return r.parts }
 // Observe registers an observer for tuple changes.
 func (r *Relation) Observe(o Observer) { r.observers = append(r.observers, o) }
 
+// Slab chunk sizing: small relations shouldn't pay for bulk chunks, so
+// chunks start at slabMinRows tuples and double per chunk up to
+// slabMaxRows.
+const (
+	slabMinRows = 16
+	slabMaxRows = 4096
+)
+
+// newTuple carves a tuple header and its field array out of the
+// relation's slabs, copying vals. The returned pointer is stable: a chunk
+// is retired (never appended to again) the moment it fills, so no append
+// can ever move an element a caller holds a pointer into.
+func (r *Relation) newTuple(id uint64, vals []Value) *Tuple {
+	if len(r.tslab) == cap(r.tslab) {
+		if r.slabRows < slabMaxRows {
+			if r.slabRows == 0 {
+				r.slabRows = slabMinRows
+			} else {
+				r.slabRows *= 2
+			}
+		}
+		r.tslab = make([]Tuple, 0, r.slabRows)
+		r.varena = make([]Value, 0, r.slabRows*r.schema.Arity())
+	}
+	off := len(r.varena)
+	r.varena = append(r.varena, vals...)
+	r.tslab = append(r.tslab, Tuple{id: id, vals: r.varena[off:len(r.varena):len(r.varena)]})
+	return &r.tslab[len(r.tslab)-1]
+}
+
 // Insert validates vals against the schema, stores a new tuple in a
 // partition with room, and notifies observers. The returned pointer is
 // stable for the tuple's lifetime.
@@ -113,7 +155,7 @@ func (r *Relation) Insert(vals []Value) (*Tuple, error) {
 			return nil, fmt.Errorf("insert into %s: %w", r.name, err)
 		}
 	}
-	t := &Tuple{id: r.ids.Next(), vals: append([]Value(nil), vals...)}
+	t := r.newTuple(r.ids.Next(), vals)
 	r.placeTuple(t)
 	r.count++
 	for _, o := range r.observers {
@@ -217,7 +259,7 @@ func (r *Relation) Update(t *Tuple, f int, v Value) error {
 // leaving a forwarding stub in the old position. The logical tuple keeps
 // its ID.
 func (r *Relation) moveTuple(t *Tuple, f int, v Value) {
-	moved := &Tuple{id: t.id, vals: append([]Value(nil), t.vals...)}
+	moved := r.newTuple(t.id, t.vals)
 	moved.vals[f] = v
 	// Free the old copy's heap usage but keep its slot occupied by the
 	// forwarding stub, mirroring the paper's "forwarding address left in
@@ -246,7 +288,7 @@ func (r *Relation) InsertLoaded(id uint64, vals []Value) (*Tuple, error) {
 	if err := r.schema.Validate(vals); err != nil {
 		return nil, fmt.Errorf("load into %s: %w", r.name, err)
 	}
-	t := &Tuple{id: id, vals: append([]Value(nil), vals...)}
+	t := r.newTuple(id, vals)
 	r.placeTuple(t)
 	r.count++
 	r.ids.Reserve(id)

@@ -440,6 +440,45 @@ func (l *TempList) Value(i, c int) Value {
 	return l.Row(i)[col.Source].Field(col.Field)
 }
 
+// GatherColumn copies output column c of rows [lo, hi) into out, which
+// must have length hi-lo. The chunk walk hoists the per-row chunk lookup
+// out of the inner loop, so batched consumers (grouped aggregation, key
+// encoding) pay one tuple dereference per value instead of a full row
+// resolution per value.
+func (l *TempList) GatherColumn(c, lo, hi int, out []Value) {
+	col := l.desc.Cols[c]
+	src, f := col.Source, col.Field
+	a := l.arity
+	j := 0
+	for i := lo; i < hi; {
+		ch := l.chunks[i>>chunkShift]
+		rows := len(ch)/a - (i & chunkMask)
+		if rem := hi - i; rows > rem {
+			rows = rem
+		}
+		off := (i&chunkMask)*a + src
+		for r := 0; r < rows; r++ {
+			out[j] = ch[off].Field(f)
+			off += a
+			j++
+		}
+		i += rows
+	}
+}
+
+// GatherColumnRows copies output column c of the given rows into out,
+// which must have length len(rows) — the scattered-row counterpart of
+// GatherColumn for partitioned consumers.
+func (l *TempList) GatherColumnRows(c int, rows []int32, out []Value) {
+	col := l.desc.Cols[c]
+	src, f := col.Source, col.Field
+	a := l.arity
+	for j, r := range rows {
+		i := int(r)
+		out[j] = l.chunks[i>>chunkShift][(i&chunkMask)*a+src].Field(f)
+	}
+}
+
 // RowValues materializes all output columns of row i. This is the only
 // point at which data is copied out of the source tuples — the final
 // delivery of a query result.

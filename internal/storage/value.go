@@ -8,7 +8,6 @@ package storage
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -134,8 +133,19 @@ func (v Value) rawRef() *Tuple {
 
 func (v Value) mustBe(t Type) {
 	if v.typ != t {
-		panic(fmt.Sprintf("storage: value is %s, not %s", v.typ, t))
+		v.typeMismatch(t)
 	}
+}
+
+// typeMismatch is outlined from mustBe so the typed accessors (Int, Float,
+// Str, …) stay inlinable: the panic's fmt call would otherwise push mustBe
+// over the inlining budget and put a real function call — with a 40-byte
+// receiver copy — on every field access in every operator hot loop. The
+// noinline keeps the compiler from folding the panic body back in.
+//
+//go:noinline
+func (v Value) typeMismatch(t Type) {
+	panic(fmt.Sprintf("storage: value is %s, not %s", v.typ, t))
 }
 
 // Compare orders two values. Null sorts before everything; otherwise the
@@ -206,8 +216,22 @@ func cmpOrdered[T int64 | uint64 | float64 | string](a, b T) int {
 }
 
 // Equal reports whether two values are equal without panicking on type
-// mismatch (mismatched types are simply unequal).
+// mismatch (mismatched types are simply unequal). The Int/Int fast path is
+// kept small enough to inline into probe loops — a group-by or join probe
+// on integer keys pays two compares instead of a call with two 40-byte
+// receiver copies per row.
 func Equal(a, b Value) bool {
+	if a.typ == Int && b.typ == Int {
+		return a.num == b.num
+	}
+	return equalSlow(a, b)
+}
+
+// equalSlow handles every case the inlined fast path doesn't, including
+// type mismatch. The noinline keeps it from being folded back into Equal.
+//
+//go:noinline
+func equalSlow(a, b Value) bool {
 	if a.typ != b.typ {
 		return false
 	}
@@ -227,13 +251,48 @@ func Equal(a, b Value) bool {
 
 // Hash returns a 64-bit hash of the value, consistent with Equal.
 func Hash(v Value) uint64 {
+	if v.typ == Str || v.typ == Ref || v.typ == Float || v.typ == Null {
+		return hashSlow(v)
+	}
+	return mix64(v.num) ^ uint64(v.typ)<<56
+}
+
+// HashFold folds per-value hashes into hs column-at-a-time:
+// hs[i] = (hs[i] ^ Hash(vals[i])) * FNV-prime — one FNV-1a step per value,
+// bit-identical to the fold in exec.KeyHash. Living inside the package
+// lets the scalar hash inline into the loop body, so the common Int/Bool
+// key pays no call per row.
+func HashFold(vals []Value, hs []uint64) {
+	if len(hs) < len(vals) {
+		panic("storage: HashFold output shorter than input")
+	}
+	for i := range vals {
+		v := vals[i]
+		var hv uint64
+		if v.typ == Str || v.typ == Ref || v.typ == Float || v.typ == Null {
+			hv = hashSlow(v)
+		} else {
+			hv = mix64(v.num) ^ uint64(v.typ)<<56
+		}
+		hs[i] = (hs[i] ^ hv) * 1099511628211
+	}
+}
+
+//go:noinline
+func hashSlow(v Value) uint64 {
 	switch v.typ {
 	case Null:
 		return 0x9e3779b97f4a7c15
 	case Str:
-		h := fnv.New64a()
-		h.Write([]byte(v.str))
-		return h.Sum64()
+		// Open-coded FNV-1a (identical to hash/fnv's sum): the stdlib
+		// hasher costs an interface allocation-shaped call pair per value,
+		// which is pure overhead at one call per row in hash loops.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(v.str); i++ {
+			h ^= uint64(v.str[i])
+			h *= 1099511628211
+		}
+		return h
 	case Ref:
 		return mix64(v.ref.Resolve().ID())
 	case Float:

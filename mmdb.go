@@ -110,6 +110,15 @@ type Options struct {
 	// decisive-prefix width. The zero value uses the plan package
 	// defaults (paper-scale inputs always stay on the §3.1 quicksort).
 	Sort SortConfig
+	// Agg tunes the grouped-aggregation crossover: the input cardinality
+	// below which one flat open-addressing table runs, and the radix
+	// sizing (cache budget, per-group footprint, fan-out caps) used above
+	// it. The zero value uses the plan package defaults.
+	Agg AggConfig
+	// TopK tunes the ORDER BY heap-vs-sort crossover: the rows/k ratio a
+	// bounded heap needs to win, and the cap on the heap size. The zero
+	// value uses the plan package defaults.
+	TopK TopKConfig
 	// SlowQueryThreshold enables the slow-query log: any query whose wall
 	// time reaches the threshold is captured — text, wall time, rows, and
 	// the full execution trace with the plan-vs-actual decision audit —
@@ -173,6 +182,13 @@ const (
 
 // SortConfig tunes the sort-method crossover; see plan.SortConfig.
 type SortConfig = plan.SortConfig
+
+// AggConfig tunes the grouped-aggregation crossover; see plan.AggConfig.
+type AggConfig = plan.AggConfig
+
+// TopKConfig tunes the ORDER BY heap-vs-sort crossover; see
+// plan.TopKConfig.
+type TopKConfig = plan.TopKConfig
 
 // Database is a main-memory database: a set of tables, a partition-level
 // lock manager, and (optionally) the recovery machinery.

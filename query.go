@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/exec"
 	"repro/internal/index/ttree"
 	"repro/internal/meter"
@@ -46,6 +47,10 @@ type Query struct {
 	join      *qjoin
 	cols      []string
 	distinct  bool
+	groupBy   []string
+	aggs      []qagg
+	orderBy   []qorder
+	limit     int           // -1 = no limit; 0 is a real (empty-result) limit
 	par       int           // requested parallelism; 0 = database default
 	strategy  *JoinStrategy // per-query Options.JoinMethod override
 	sortStrat *SortStrategy // per-query Options.SortMethod override
@@ -79,21 +84,73 @@ type qjoin struct {
 	leftField, rightField int
 }
 
+// AggFunc identifies an aggregate function for Query.Agg.
+type AggFunc int
+
+// The aggregate functions. AggCount with an empty column (or "*") is
+// COUNT(*); every other combination skips NULL inputs, per SQL.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// aggKind maps the public function tag to the operator's kind.
+func aggKind(f AggFunc) agg.Kind {
+	switch f {
+	case AggSum:
+		return agg.Sum
+	case AggMin:
+		return agg.Min
+	case AggMax:
+		return agg.Max
+	case AggAvg:
+		return agg.Avg
+	default:
+		return agg.Count
+	}
+}
+
+// qagg is one aggregate of a grouped query.
+type qagg struct {
+	fn   AggFunc
+	col  string // input column; "" or "*" = COUNT(*)
+	name string // output column name, e.g. "COUNT(*)"
+}
+
+// qorder is one ORDER BY term: an output column name or a 1-based output
+// ordinal (as digits, SQL's "ORDER BY 2"), plus its direction.
+type qorder struct {
+	col  string
+	desc bool
+}
+
 // Query starts a query over the named table.
 func (db *Database) Query(table string) *Query {
 	t, ok := db.Table(table)
 	if !ok {
-		return &Query{db: db, err: fmt.Errorf("mmdb: no table %q", table)}
+		return &Query{db: db, err: fmt.Errorf("mmdb: no table %q", table), limit: -1}
 	}
-	return &Query{db: db, from: t}
+	return &Query{db: db, from: t, limit: -1}
 }
 
-// Where adds a predicate on a column of the from-table. Multiple
-// predicates are conjunctive; the planner serves the most selective
-// indexable one through an index and filters the rest during the scan.
+// Where adds a predicate on a column of the from-table, named "col" or
+// "table.col" (the table part must be the from-table — predicates on the
+// joined table are not supported). Multiple predicates are conjunctive;
+// the planner serves the most selective indexable one through an index
+// and filters the rest during the scan.
 func (q *Query) Where(column string, op Op, v Value) *Query {
 	if q.err != nil {
 		return q
+	}
+	if tbl, col, ok := strings.Cut(column, "."); ok {
+		if tbl != q.from.Name() {
+			q.err = fmt.Errorf("mmdb: WHERE %s: predicates must be on the from-table %s", column, q.from.Name())
+			return q
+		}
+		column = col
 	}
 	f := q.from.ColumnIndex(column)
 	if f < 0 {
@@ -150,6 +207,56 @@ func (q *Query) Select(columns ...string) *Query {
 // method, §3.4).
 func (q *Query) Distinct() *Query {
 	q.distinct = true
+	return q
+}
+
+// GroupBy groups the query's rows by the named columns ("col" or
+// "table.col"). A grouped query's output is the group-key columns followed
+// by one column per Agg call; the Select list is not used. GroupBy without
+// Agg degenerates to DISTINCT over the group columns.
+func (q *Query) GroupBy(columns ...string) *Query {
+	q.groupBy = append(q.groupBy, columns...)
+	return q
+}
+
+// Agg adds an aggregate output column: AggCount/AggSum/AggMin/AggMax/
+// AggAvg over the named input column. An empty column (or "*") with
+// AggCount counts rows; every function skips NULL inputs, and a group
+// whose inputs were all NULL yields NULL (0 for COUNT). Agg without
+// GroupBy aggregates the whole input into one row. The output column is
+// named the SQL way: "COUNT(*)", "SUM(sal)", ….
+func (q *Query) Agg(fn AggFunc, column string) *Query {
+	name := fn.String() + "(*)"
+	if column != "" && column != "*" {
+		name = fmt.Sprintf("%s(%s)", fn, column)
+	}
+	q.aggs = append(q.aggs, qagg{fn: fn, col: column, name: name})
+	return q
+}
+
+// String spells the function as SQL does.
+func (f AggFunc) String() string { return aggKind(f).String() }
+
+// OrderBy appends one ORDER BY term: an output column (by name, or by
+// 1-based output ordinal as digits — SQL's "ORDER BY 2") and its
+// direction. Terms compose left to right; ties beyond the last term break
+// deterministically on input order. ORDER BY with a small Limit runs the
+// bounded-heap top-k operator instead of a full sort.
+func (q *Query) OrderBy(column string, desc bool) *Query {
+	q.orderBy = append(q.orderBy, qorder{col: column, desc: desc})
+	return q
+}
+
+// Limit caps the number of output rows. It is pushed into execution, not
+// applied after the fact: an unordered query stops its selection or join
+// as soon as n rows exist (exec.JoinSpec.Limit's early exit), and an
+// ordered query streams through a bounded n-element heap when n is small.
+// Limit(0) returns zero rows; negative n removes the limit.
+func (q *Query) Limit(n int) *Query {
+	if n < 0 {
+		n = -1
+	}
+	q.limit = n
 	return q
 }
 
@@ -273,21 +380,11 @@ func (r *Result) Tuples(i int) []*Tuple { return r.list.Row(i) }
 // and §3.1 counters use Query.Analyze.
 func (r *Result) Plan() string { return strings.Join(r.plan, "\n") }
 
-// truncate returns a result holding only the first n rows.
+// truncate returns a result holding only the first n rows. Query.Limit
+// supersedes it for queries (the limit is pushed into execution there);
+// it remains for callers that cap an existing result after the fact.
 func (r *Result) truncate(n int) *Result {
-	hint := n
-	if l := r.list.Len(); l < hint {
-		hint = l
-	}
-	out := storage.MustTempListHint(r.list.Descriptor(), hint)
-	r.list.Scan(func(i int, row storage.Row) bool {
-		if i >= n {
-			return false
-		}
-		out.Append(row)
-		return true
-	})
-	return &Result{list: out, plan: r.plan}
+	return &Result{list: headList(r.list, n), plan: r.plan}
 }
 
 // Run plans and executes the query under shared relation locks, so
@@ -377,6 +474,27 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	batchSize := plan.ChooseBatchSize(q.db.opts.BatchSize, card)
 	planNotes = append(planNotes, fmt.Sprintf("batch: %d-tuple pointer blocks", batchSize))
 
+	// LIMIT pushdown. A limit is pushed to the earliest operator that can
+	// honor it: the selection scan when nothing downstream needs the full
+	// input, the join's early-exit emitter otherwise. DISTINCT, GROUP BY
+	// and ORDER BY all consume every row, so under them the limit applies
+	// only at the end — except LIMIT 0, whose output is empty no matter
+	// what runs downstream, so it always cuts the selection to nothing.
+	grouped := len(q.groupBy) > 0 || len(q.aggs) > 0
+	ordered := len(q.orderBy) > 0
+	barrier := q.distinct || grouped || ordered
+	selLimit, joinLimit := -1, 0
+	switch {
+	case q.limit == 0:
+		selLimit = 0
+	case q.limit > 0 && !barrier && q.join == nil:
+		selLimit = q.limit
+		planNotes = append(planNotes, fmt.Sprintf("limit: %d pushed into selection", q.limit))
+	case q.limit > 0 && !barrier:
+		joinLimit = q.limit
+		planNotes = append(planNotes, fmt.Sprintf("limit: %d pushed into join (early exit)", q.limit))
+	}
+
 	var trace *QueryTrace
 	var root *obs.TraceNode
 	if buildTrace {
@@ -392,7 +510,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	}
 	t0 := start
 	aq.SetPhase(obs.PhaseSelect)
-	sel := q.runSelection(mp, pg)
+	sel := q.runSelection(mp, pg, selLimit)
 	list := sel.list
 	planNotes = append(planNotes, "access "+q.from.Name()+": "+sel.pathDesc)
 	if collect {
@@ -439,7 +557,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			mp = &joinMeter
 		}
 		aq.SetPhase(obs.PhaseJoin)
-		jr := q.runJoin(list, mp, pg)
+		jr := q.runJoin(list, mp, pg, joinLimit)
 		list = jr.list
 		planNotes = append(planNotes,
 			fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), q.join.table.Name(), jr.method))
@@ -525,22 +643,95 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 	}
 
-	// Phase 3: projection via the result descriptor; duplicate
-	// elimination only if requested (§2.3: projection is implicit).
-	preProject := list.Len()
-	aq.SetPhase(obs.PhaseProject)
-	list, err := q.project(list)
-	if err != nil {
-		return nil, nil, err
-	}
-	if buildTrace {
-		now := time.Now()
-		root.Add(&obs.TraceNode{
-			Op: "project", Detail: fmt.Sprintf("%d column(s)", len(list.Descriptor().Cols)),
-			AccessPath: "descriptor rewrite",
-			RowsIn:     preProject, RowsOut: list.Len(), Wall: now.Sub(t0),
-		})
-		t0 = now
+	if grouped {
+		// Phase 3 (grouped): aggregation replaces projection — the output
+		// columns are the group keys followed by the aggregates.
+		var aggMeter meter.Counters
+		if collect {
+			mp = &aggMeter
+		} else {
+			mp = nil
+		}
+		aq.SetPhase(obs.PhaseGroup)
+		gr, err := q.runGroup(list, mp, pg)
+		if err != nil {
+			return nil, nil, err
+		}
+		list = gr.list
+		planNotes = append(planNotes, "group: "+gr.path)
+		if collect {
+			total.Add(aggMeter)
+			// Audit the agg-method crossover: the chooser sized for the
+			// worst case (every input row its own group) because group
+			// cardinality is unknown before execution; the record shows how
+			// far off that was. Informational (Threshold 0) — the worst-case
+			// sizing is intentional, not a misprediction.
+			decisions = append(decisions, obs.Decision{
+				Name:     "agg method",
+				Chosen:   gr.method.String(),
+				Inputs:   "rows=" + obs.FmtCount(float64(gr.rowsIn)),
+				Estimate: float64(gr.rowsIn),
+				Actual:   float64(list.Len()),
+				Unit:     "groups",
+			})
+			if gr.workers > 1 {
+				decisions = append(decisions, obs.Decision{
+					Name:      "workers",
+					Chosen:    fmt.Sprintf("%d worker(s)", gr.workers),
+					Inputs:    "work rows=" + obs.FmtCount(float64(gr.rowsIn)),
+					Estimate:  float64(gr.rowsIn) / float64(gr.workers),
+					Actual:    float64(pg.MaxWorkerRows()),
+					Unit:      "rows/worker",
+					Threshold: 4.0,
+				})
+			}
+			if gr.radix.Fanout > 0 {
+				decisions = append(decisions, obs.Decision{
+					Name:      "radix balance",
+					Chosen:    fmt.Sprintf("%d partitions", gr.radix.Fanout),
+					Inputs:    "rows=" + obs.FmtCount(float64(gr.radix.Rows)),
+					Estimate:  float64(gr.radix.Rows) / float64(gr.radix.Fanout),
+					Actual:    float64(gr.radix.MaxPart),
+					Unit:      "rows/partition",
+					Threshold: 4.0,
+				})
+				reg.ObserveRadixSkew(gr.radix.Skew())
+			}
+		}
+		if buildTrace {
+			now := time.Now()
+			node := &obs.TraceNode{
+				Op: "group", Detail: gr.detail, AccessPath: gr.path,
+				RowsIn: gr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: aggMeter,
+				Workers: gr.workers,
+			}
+			if gr.radix.Fanout > 0 {
+				node.RadixPasses = gr.radix.Passes
+				node.Partitions = gr.radix.Fanout
+				node.PartitionSkew = gr.radix.Skew()
+			}
+			root.Add(node)
+			t0 = now
+		}
+	} else {
+		// Phase 3: projection via the result descriptor; duplicate
+		// elimination only if requested (§2.3: projection is implicit).
+		preProject := list.Len()
+		aq.SetPhase(obs.PhaseProject)
+		var err error
+		list, err = q.project(list)
+		if err != nil {
+			return nil, nil, err
+		}
+		if buildTrace {
+			now := time.Now()
+			root.Add(&obs.TraceNode{
+				Op: "project", Detail: fmt.Sprintf("%d column(s)", len(list.Descriptor().Cols)),
+				AccessPath: "descriptor rewrite",
+				RowsIn:     preProject, RowsOut: list.Len(), Wall: now.Sub(t0),
+			})
+			t0 = now
+		}
 	}
 	if q.distinct {
 		var dupMeter meter.Counters
@@ -608,12 +799,66 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 				node.PartitionSkew = dstats.Skew()
 			}
 			root.Add(node)
+			t0 = now
 		}
 	}
 
+	// Phase 4: ORDER BY (+ LIMIT k as bounded-heap top-k when the planner
+	// judges k small enough).
+	if ordered {
+		var ordMeter meter.Counters
+		if collect {
+			mp = &ordMeter
+		} else {
+			mp = nil
+		}
+		aq.SetPhase(obs.PhaseOrder)
+		preOrder := list.Len()
+		or, err := q.runOrder(list, mp, pg)
+		if err != nil {
+			return nil, nil, err
+		}
+		list = or.list
+		planNotes = append(planNotes, "order: "+or.path)
+		if collect {
+			total.Add(ordMeter)
+			// Informational (Threshold 0): records the heap-vs-sort
+			// crossover's pick and the input size and k it rested on.
+			decisions = append(decisions, obs.Decision{
+				Name:     "top-k method",
+				Chosen:   or.method.String(),
+				Inputs:   fmt.Sprintf("rows=%s k=%d", obs.FmtCount(float64(preOrder)), or.k),
+				Estimate: float64(preOrder),
+				Unit:     "rows",
+			})
+		}
+		if buildTrace {
+			now := time.Now()
+			root.Add(&obs.TraceNode{
+				Op: "order", Detail: or.detail, AccessPath: or.path,
+				RowsIn: preOrder, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: ordMeter,
+				Workers: or.workers,
+			})
+			t0 = now
+		}
+	}
+
+	// Residual LIMIT: the paths that could not push the limit down
+	// (DISTINCT, grouped output, and LIMIT 0 under any barrier) cap here.
+	// Ordered queries already cut to the limit inside the order phase.
+	if q.limit >= 0 && list.Len() > q.limit {
+		list = headList(list, q.limit)
+	}
+
 	if collect {
+		if grouped {
+			shape += "+group"
+		}
 		if q.distinct {
 			shape += "+distinct"
+		}
+		if ordered {
+			shape += "+order"
 		}
 		wall := time.Since(start)
 		for _, d := range decisions {
@@ -650,9 +895,18 @@ func (q *Query) text() string {
 	if q.distinct {
 		b.WriteString("DISTINCT ")
 	}
-	if len(q.cols) == 0 {
+	switch {
+	case len(q.groupBy) > 0 || len(q.aggs) > 0:
+		// Grouped output: group keys then aggregates, Select list unused.
+		items := make([]string, 0, len(q.groupBy)+len(q.aggs))
+		items = append(items, q.groupBy...)
+		for _, a := range q.aggs {
+			items = append(items, a.name)
+		}
+		b.WriteString(strings.Join(items, ", "))
+	case len(q.cols) == 0:
 		b.WriteString("*")
-	} else {
+	default:
 		b.WriteString(strings.Join(q.cols, ", "))
 	}
 	b.WriteString(" FROM ")
@@ -667,6 +921,32 @@ func (q *Query) text() string {
 			b.WriteString(" AND ")
 		}
 		fmt.Fprintf(&b, "%s %s %s", p.column, p.op, p.val)
+	}
+	if len(q.groupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(q.groupBy, ", "))
+	}
+	if len(q.orderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.orderByText())
+	}
+	if q.limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.limit)
+	}
+	return b.String()
+}
+
+// orderByText renders the ORDER BY list ("sal DESC, name").
+func (q *Query) orderByText() string {
+	var b strings.Builder
+	for i, o := range q.orderBy {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.col)
+		if o.desc {
+			b.WriteString(" DESC")
+		}
 	}
 	return b.String()
 }
@@ -706,8 +986,27 @@ func (q *Query) Explain() (string, error) {
 		}
 		lines = append(lines, note)
 	}
+	if len(q.groupBy) > 0 || len(q.aggs) > 0 {
+		method, _ := plan.ChooseAggMethod(outerEst, q.db.opts.Agg)
+		by := "global"
+		if len(q.groupBy) > 0 {
+			by = "by " + strings.Join(q.groupBy, ", ")
+		}
+		lines = append(lines, fmt.Sprintf("group %s: %s (input estimated ≤ %d rows)", by, method, outerEst))
+	}
 	if q.distinct {
 		lines = append(lines, "distinct: hash duplicate elimination")
+	}
+	if len(q.orderBy) > 0 {
+		k := 0
+		if q.limit > 0 {
+			k = q.limit
+		}
+		lines = append(lines, fmt.Sprintf("order by %s: %s", q.orderByText(),
+			plan.ChooseTopK(outerEst, k, q.db.opts.TopK)))
+	}
+	if q.limit >= 0 {
+		lines = append(lines, fmt.Sprintf("limit: %d", q.limit))
 	}
 	return strings.Join(lines, "\n"), nil
 }
@@ -746,10 +1045,43 @@ type selExec struct {
 // single-source temp list. The meter, when non-nil, accumulates the §3.1
 // operation counts of the index probe and the residual filter; pg, when
 // non-nil, is the live query's Progress for rows-processed gauges.
-func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress) selExec {
+// limit >= 0 is a pushed-down LIMIT: the selection stops as soon as that
+// many rows qualify (an early exit is inherently sequential, so the
+// parallel scan paths are skipped).
+func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress, limit int) selExec {
 	t := q.from
 	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m, Prog: pg}
 	if len(q.preds) == 0 {
+		if limit >= 0 {
+			// LIMIT pushed into the bare scan: append row-at-a-time and cut
+			// the batch stream the moment the limit is reached.
+			hint := limit
+			if c := t.Cardinality(); c < hint {
+				hint = c
+			}
+			list := storage.MustTempListHint(
+				storage.Descriptor{Sources: []string{t.Name()}}, hint)
+			if limit > 0 {
+				buf := storage.GetBatch()
+				exec.ScanBatches(t.scanSource(), buf, func(block storage.TupleBatch) bool {
+					m.AddBatch(1)
+					for _, tp := range block {
+						list.AppendOne(tp)
+						if list.Len() >= limit {
+							return false
+						}
+					}
+					return true
+				})
+				storage.PutBatch(buf)
+			}
+			return selExec{
+				list:     list,
+				pathDesc: fmt.Sprintf("full scan via %s index (early exit at LIMIT %d)", t.primary.kind, limit),
+				path:     plan.PathSequentialScan,
+				rowsIn:   list.Len(),
+			}
+		}
 		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 {
 			list := parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
 				func(*storage.Tuple) bool { return true }, spec, w)
@@ -806,7 +1138,7 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress) selExec {
 		probeKind, probes = ix.kind.String(), 1
 		// Range access is inclusive; strict bounds drop the endpoint below.
 	default:
-		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 {
+		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 && limit < 0 {
 			scanWorkers = w
 			list = parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
 				func(*storage.Tuple) bool { return true }, spec, w)
@@ -819,9 +1151,17 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress) selExec {
 		rowsIn = t.Cardinality()
 	}
 	// Residual filter: every predicate re-checked (strict bounds, extra
-	// conjuncts, Ne).
-	out := storage.MustTempListHint(list.Descriptor(), list.Len())
+	// conjuncts, Ne). A pushed-down limit stops the filter — and with it
+	// the whole selection — once enough rows qualify.
+	hint := list.Len()
+	if limit >= 0 && limit < hint {
+		hint = limit
+	}
+	out := storage.MustTempListHint(list.Descriptor(), hint)
 	list.Scan(func(_ int, row storage.Row) bool {
+		if limit >= 0 && out.Len() >= limit {
+			return false
+		}
 		tp := row[0]
 		for _, pr := range q.preds {
 			m.AddCompare(1)
@@ -838,6 +1178,9 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress) selExec {
 	}
 	if len(q.preds) > 1 {
 		pathDesc += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
+	}
+	if limit >= 0 {
+		pathDesc += fmt.Sprintf(" (early exit at LIMIT %d)", limit)
 	}
 	return selExec{
 		list:      out,
@@ -941,8 +1284,11 @@ type joinExec struct {
 
 // runJoin joins the selection result (left) with the join table (right).
 // The meter, when non-nil, accumulates the join's §3.1 operation counts;
-// pg, when non-nil, is the live query's Progress.
-func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progress) joinExec {
+// pg, when non-nil, is the live query's Progress. limit > 0 is a
+// pushed-down LIMIT: the join's emitter stops after that many rows
+// (exec.JoinSpec.Limit), and the inherently-sequential early exit keeps
+// the join off the parallel and radix upgrades.
+func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progress, limit int) joinExec {
 	j := q.join
 	outer := exec.ListColumn{List: left, Column: 0}
 	fullOuter := len(q.preds) == 0 // outer is the entire from-table
@@ -957,7 +1303,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 	spec := exec.JoinSpec{
 		OuterName: q.from.Name(), InnerName: j.table.Name(),
 		OuterField: j.leftField, InnerField: j.rightField,
-		Meter: m, Prog: pg,
+		Meter: m, Prog: pg, Limit: limit,
 	}
 	out := joinExec{method: choice, rowsIn: outer.Len(), workRows: outer.Len() + innerCard}
 	switch choice {
@@ -979,7 +1325,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 			out.list = exec.HashJoinExisting(outer, jp.innerHash.hashed, spec)
 			out.innerScanned = out.list.Len()
 			out.probeKind, out.probes = jp.innerHash.kind.String(), int64(outer.Len())
-		} else if bits := q.radixBits(innerCard); bits != nil {
+		} else if bits := q.radixBits(innerCard); bits != nil && limit <= 0 {
 			// Cache-conscious upgrade: the build side is large enough that
 			// partitioning both sides to L2-resident pieces beats one big
 			// chained table. Runs even at one worker — the cache behavior,
@@ -994,7 +1340,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 				parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
 			out.innerScanned = innerCard // partition pass scans the inner relation
 		} else {
-			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
+			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 && limit <= 0 {
 				spec.Parallelism = w
 				out.workers = w
 				out.list = parallel.HashJoin(
@@ -1026,7 +1372,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 		spec.SortMethod = sm
 		out.sortMethod = sm
 		out.sortRows = max(outer.Len(), innerCard)
-		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 {
+		if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 && limit <= 0 {
 			spec.Parallelism = w
 			out.workers = w
 			out.list = parallel.SortMergeJoin(
@@ -1095,4 +1441,224 @@ func (q *Query) resolveColumn(name string) (storage.ColRef, error) {
 		}
 	}
 	return storage.ColRef{}, fmt.Errorf("mmdb: cannot resolve column %q", name)
+}
+
+// groupExec is the outcome of the grouped-aggregation phase plus the
+// numbers the observability layer reports.
+type groupExec struct {
+	list    *storage.TempList
+	method  plan.AggMethod // the crossover's pick (decision audit)
+	path    string         // what actually ran (trace access path)
+	detail  string         // "BY dept (2 aggregate(s))"
+	rowsIn  int
+	workers int
+	radix   radix.Stats // partitioning stats (zero unless radix ran)
+}
+
+// runGroup executes GROUP BY + aggregates: project the group-key and
+// aggregate-input columns into a working list, aggregate it on the shape
+// plan.ChooseAggMethod picked (flat table below the crossover,
+// radix-partitioned above; per-worker partial tables merged at the
+// barrier when the worker chooser grants parallelism), and materialize
+// one output row per group.
+func (q *Query) runGroup(list *storage.TempList, m *meter.Counters, pg *obs.Progress) (groupExec, error) {
+	// Working projection: group columns first, aggregate inputs after, so
+	// the operator addresses both as ordinals of one descriptor.
+	wcols := make([]storage.ColRef, 0, len(q.groupBy)+len(q.aggs))
+	gcols := make([]int, len(q.groupBy))
+	for i, name := range q.groupBy {
+		ref, err := q.resolveColumn(name)
+		if err != nil {
+			return groupExec{}, err
+		}
+		ref.Name = name
+		gcols[i] = i
+		wcols = append(wcols, ref)
+	}
+	specs := make([]agg.Spec, len(q.aggs))
+	for i, a := range q.aggs {
+		col := -1
+		if a.col != "" && a.col != "*" {
+			ref, err := q.resolveColumn(a.col)
+			if err != nil {
+				return groupExec{}, err
+			}
+			col = len(wcols)
+			wcols = append(wcols, ref)
+		} else if a.fn != AggCount {
+			return groupExec{}, fmt.Errorf("mmdb: %s requires a column", a.fn)
+		}
+		specs[i] = agg.Spec{Kind: aggKind(a.fn), Col: col, Name: a.name}
+	}
+	work := storage.MustTempListHint(
+		storage.Descriptor{Sources: list.Descriptor().Sources, Cols: wcols}, list.Len())
+	list.Scan(func(_ int, row storage.Row) bool {
+		work.Append(row)
+		return true
+	})
+	n := work.Len()
+
+	method, bits := plan.ChooseAggMethod(n, q.db.opts.Agg)
+	workers := plan.ChooseWorkers(q.parallelism(), n)
+	g := agg.Get()
+	res := parallel.HashAgg(pg, g, work, gcols, specs, bits, workers, m)
+	if len(gcols) == 0 && res.Groups() == 0 {
+		// Global aggregation over an empty input still yields one row
+		// (COUNT = 0, the rest NULL), per SQL. The rep row ordinal is never
+		// dereferenced: there are no group-key columns to read through it.
+		res = agg.Result{Reps: []int32{0}, Cells: make([]agg.Cell, len(specs))}
+	}
+	out, err := agg.Materialize(work, gcols, specs, res, "agg("+q.from.Name()+")")
+	stats := res.Stats
+	agg.Put(g)
+	if err != nil {
+		return groupExec{}, err
+	}
+	path := method.String()
+	if workers > 1 {
+		path = fmt.Sprintf("parallel partial-agg merge (%d workers)", workers)
+	}
+	detail := "global"
+	if len(q.groupBy) > 0 {
+		detail = "BY " + strings.Join(q.groupBy, ", ")
+	}
+	if len(q.aggs) > 0 {
+		detail += fmt.Sprintf(" (%d aggregate(s))", len(q.aggs))
+	}
+	return groupExec{
+		list: out, method: method, path: path, detail: detail,
+		rowsIn: n, workers: workers, radix: stats,
+	}, nil
+}
+
+// orderExec is the outcome of the ORDER BY phase plus the numbers the
+// observability layer reports.
+type orderExec struct {
+	list    *storage.TempList
+	method  plan.TopKMethod
+	path    string // what ran: "bounded-heap top-k (k=10)" / "full sort (…)"
+	detail  string // "BY sal DESC, name"
+	k       int
+	workers int
+}
+
+// runOrder executes ORDER BY (+ LIMIT): resolve the key terms against the
+// output descriptor, pick bounded-heap top-k vs full sort
+// (plan.ChooseTopK), and rebuild the list in output order, cut to the
+// limit. The full sort runs on the substrate the sort-method crossover
+// picks (§3.1 quicksort or the normalized-key radix kernel); both shapes
+// produce the identical deterministic order (ordinal tie-break).
+func (q *Query) runOrder(list *storage.TempList, m *meter.Counters, pg *obs.Progress) (orderExec, error) {
+	keys, err := q.resolveOrderKeys(list)
+	if err != nil {
+		return orderExec{}, err
+	}
+	n := list.Len()
+	k := 0
+	if q.limit > 0 {
+		k = q.limit
+	}
+	method := plan.ChooseTopK(n, k, q.db.opts.TopK)
+	var rows []int32
+	workers := 0
+	var path string
+	if method == plan.TopKHeap {
+		workers = plan.ChooseWorkers(q.parallelism(), n)
+		rows = parallel.TopK(pg, list, keys, k, workers, m)
+		path = fmt.Sprintf("bounded-heap top-k (k=%d)", k)
+	} else {
+		sm := q.sortMethodFor(n, len(keys)*plan.DefaultSortPrefixBytes)
+		rows = exec.OrderRows(list, keys, sm, m)
+		if q.limit >= 0 && len(rows) > q.limit {
+			rows = rows[:q.limit]
+		}
+		path = "full sort (" + sm.String() + ")"
+	}
+	out := storage.MustTempListHint(list.Descriptor(), len(rows))
+	for _, r := range rows {
+		out.Append(list.Row(int(r)))
+	}
+	return orderExec{
+		list: out, method: method, path: path,
+		detail: "BY " + q.orderByText(), k: k, workers: workers,
+	}, nil
+}
+
+// resolveOrderKeys maps the ORDER BY terms to output-column ordinals of
+// the list being ordered.
+func (q *Query) resolveOrderKeys(list *storage.TempList) ([]exec.OrderKey, error) {
+	cols := list.Descriptor().Cols
+	keys := make([]exec.OrderKey, len(q.orderBy))
+	for i, o := range q.orderBy {
+		c, err := resolveOrderColumn(cols, o.col)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = exec.OrderKey{Col: c, Desc: o.desc}
+	}
+	return keys, nil
+}
+
+// resolveOrderColumn resolves one ORDER BY term against the output
+// descriptor: a string of digits is SQL's 1-based output ordinal
+// ("ORDER BY 2"); a name matches an output column exactly, or — as the
+// unqualified form of a qualified output name — the part after its dot,
+// if unambiguous.
+func resolveOrderColumn(cols []storage.ColRef, name string) (int, error) {
+	if n, ok := parseOrdinal(name); ok {
+		if n < 1 || n > len(cols) {
+			return 0, fmt.Errorf("mmdb: ORDER BY ordinal %d out of range (1..%d)", n, len(cols))
+		}
+		return n - 1, nil
+	}
+	for i, c := range cols {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	match := -1
+	for i, c := range cols {
+		if j := strings.IndexByte(c.Name, '.'); j >= 0 && c.Name[j+1:] == name {
+			if match >= 0 {
+				return 0, fmt.Errorf("mmdb: ORDER BY column %q is ambiguous", name)
+			}
+			match = i
+		}
+	}
+	if match < 0 {
+		return 0, fmt.Errorf("mmdb: ORDER BY column %q is not an output column", name)
+	}
+	return match, nil
+}
+
+// parseOrdinal parses an all-digits ORDER BY ordinal.
+func parseOrdinal(s string) (int, bool) {
+	if s == "" || len(s) > 6 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, true
+}
+
+// headList copies the first n rows of list into a fresh list with the
+// same descriptor.
+func headList(list *storage.TempList, n int) *storage.TempList {
+	if n > list.Len() {
+		n = list.Len()
+	}
+	out := storage.MustTempListHint(list.Descriptor(), n)
+	list.Scan(func(i int, row storage.Row) bool {
+		if i >= n {
+			return false
+		}
+		out.Append(row)
+		return true
+	})
+	return out
 }

@@ -19,10 +19,14 @@ type ExecResult struct {
 // engine's capabilities: CREATE TABLE (with REF(table) tuple-pointer
 // columns and a mandatory PRIMARY KEY index), CREATE [UNIQUE] INDEX,
 // INSERT (with REF(table, column, value) pointer literals), SELECT with
-// one JOIN / WHERE conjunctions / DISTINCT / LIMIT, EXPLAIN SELECT
-// (planned choices, nothing executed), EXPLAIN ANALYZE SELECT (executed
-// operator trace with rows, wall time, and §3.1 counters), UPDATE, and
-// DELETE. Statements run through the same planner as the fluent API.
+// one JOIN / WHERE conjunctions / DISTINCT / aggregates (COUNT, SUM,
+// MIN, MAX, AVG) / GROUP BY / ORDER BY (columns or 1-based output
+// ordinals, ASC|DESC) / LIMIT (pushed into the scan or join for early
+// exit), EXPLAIN SELECT (planned choices, nothing executed), EXPLAIN
+// ANALYZE SELECT (executed operator trace with rows, wall time, and
+// §3.1 counters), UPDATE, and DELETE (both read and write inside one
+// transaction). Statements run through the same planner as the fluent
+// API.
 func (db *Database) Exec(sql string) (*ExecResult, error) {
 	st, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -247,9 +251,94 @@ func (db *Database) buildQuery(from string, where []sqlparser.Cond, join *sqlpar
 	return q, nil
 }
 
+// sqlAggFunc maps a parsed aggregate name to the fluent-API tag.
+func sqlAggFunc(name string) (AggFunc, error) {
+	switch name {
+	case "COUNT":
+		return AggCount, nil
+	case "SUM":
+		return AggSum, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	case "AVG":
+		return AggAvg, nil
+	default:
+		return 0, fmt.Errorf("mmdb: unknown aggregate %q", name)
+	}
+}
+
+// applySelectShape maps the parsed GROUP BY / aggregate select list /
+// ORDER BY / LIMIT clauses onto the fluent query. A grouped query's
+// output is its group keys followed by its aggregates, so a select list
+// containing aggregates must be written that way: the GROUP BY columns
+// in order, then aggregates only.
+func applySelectShape(q *Query, s *sqlparser.Select) (*Query, error) {
+	if len(s.Items) > 0 {
+		var plain []string
+		sawAgg := false
+		for _, it := range s.Items {
+			if it.Agg == "" {
+				if sawAgg {
+					return nil, fmt.Errorf("mmdb: select list must be the GROUP BY columns followed by aggregates; %q appears after an aggregate", it.Col)
+				}
+				plain = append(plain, it.Col)
+				continue
+			}
+			sawAgg = true
+		}
+		if len(plain) != len(s.GroupBy) {
+			return nil, fmt.Errorf("mmdb: select list has %d non-aggregate column(s) but GROUP BY names %d", len(plain), len(s.GroupBy))
+		}
+		for i, col := range plain {
+			if col != s.GroupBy[i] {
+				return nil, fmt.Errorf("mmdb: select-list column %q must match GROUP BY column %q (position %d)", col, s.GroupBy[i], i+1)
+			}
+		}
+		if len(s.GroupBy) > 0 {
+			q = q.GroupBy(s.GroupBy...)
+		}
+		for _, it := range s.Items {
+			if it.Agg == "" {
+				continue
+			}
+			fn, err := sqlAggFunc(it.Agg)
+			if err != nil {
+				return nil, err
+			}
+			q = q.Agg(fn, it.Col)
+		}
+	} else if len(s.GroupBy) > 0 {
+		// GROUP BY without aggregates: the select list (if any) must be
+		// exactly the group columns; the output is one row per group.
+		if len(s.Cols) > 0 {
+			if len(s.Cols) != len(s.GroupBy) {
+				return nil, fmt.Errorf("mmdb: select list has %d column(s) but GROUP BY names %d", len(s.Cols), len(s.GroupBy))
+			}
+			for i, col := range s.Cols {
+				if col != s.GroupBy[i] {
+					return nil, fmt.Errorf("mmdb: select-list column %q must match GROUP BY column %q (position %d)", col, s.GroupBy[i], i+1)
+				}
+			}
+		}
+		q = q.GroupBy(s.GroupBy...)
+	}
+	for _, o := range s.OrderBy {
+		q = q.OrderBy(o.Col, o.Desc)
+	}
+	if s.Limit >= 0 {
+		q = q.Limit(s.Limit)
+	}
+	return q, nil
+}
+
 func (db *Database) execSelect(s *sqlparser.Select) (*ExecResult, error) {
 	q, err := db.buildQuery(s.From, s.Where, s.Join, s.Cols, s.Distinct)
 	if err != nil {
+		return nil, err
+	}
+	if q, err = applySelectShape(q, s); err != nil {
 		return nil, err
 	}
 	if s.Explain && s.Analyze {
@@ -273,9 +362,6 @@ func (db *Database) execSelect(s *sqlparser.Select) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.Limit >= 0 && res.Len() > s.Limit {
-		res = res.truncate(s.Limit)
-	}
 	return &ExecResult{Result: res, RowsAffected: res.Len(), Plan: res.Plan()}, nil
 }
 
@@ -292,11 +378,15 @@ func (db *Database) execUpdate(s *sqlparser.Update) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := q.Run()
+	// Read and write inside ONE transaction: the selection runs through
+	// the txn's locks, so no other writer can slip between finding the
+	// rows and updating them.
+	tx := db.Begin()
+	res, err := q.In(tx).Run()
 	if err != nil {
+		tx.Abort()
 		return nil, err
 	}
-	tx := db.Begin()
 	for i := 0; i < res.Len(); i++ {
 		if err := tx.Update(t, res.Tuples(i)[0], s.Column, v); err != nil {
 			tx.Abort()
@@ -318,11 +408,14 @@ func (db *Database) execDelete(s *sqlparser.Delete) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := q.Run()
+	// As in execUpdate: select and delete under the same transaction so
+	// the victim set cannot change between the read and the writes.
+	tx := db.Begin()
+	res, err := q.In(tx).Run()
 	if err != nil {
+		tx.Abort()
 		return nil, err
 	}
-	tx := db.Begin()
 	for i := 0; i < res.Len(); i++ {
 		if err := tx.Delete(t, res.Tuples(i)[0]); err != nil {
 			tx.Abort()
