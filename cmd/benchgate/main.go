@@ -5,7 +5,7 @@
 //	go test -run xxx -bench . -benchmem -count 3 ./internal/radix/ | \
 //	    go run ./cmd/benchgate -baseline internal/bench/baselines/radix_baseline.txt
 //
-// Two gates, with very different strictness:
+// Three gates, with very different strictness:
 //
 //   - allocs/op is deterministic and machine-independent, so it is
 //     gated exactly: any benchmark allocating more objects per op than
@@ -16,6 +16,11 @@
 //     order-of-magnitude regressions (an accidental per-op allocation,
 //     a modulo reintroduced on a masked hot path) without flaking on a
 //     different CPU. Set -ns-tol 0 to disable the time gate entirely.
+//   - custom "rows" metrics (b.ReportMetric(n, "rows")) are asserted
+//     result cardinalities: a deterministic workload must join to the
+//     same row count on every machine, so any difference from the
+//     baseline fails exactly. A plan change that alters what a query
+//     returns cannot hide behind a fast run.
 //
 // When the same benchmark appears multiple times (-count N), the best
 // (minimum) of each metric is used on both sides — the steady state,
@@ -32,40 +37,54 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // result is one benchmark's best observed metrics.
 type result struct {
 	ns     float64
 	allocs int64
-	hasMem bool // -benchmem columns present
+	hasMem bool               // -benchmem columns present
+	extra  map[string]float64 // custom units from b.ReportMetric
 }
 
-// benchLine matches `BenchmarkName-8  123  45.6 ns/op  789 B/op  2 allocs/op`
-// with an optional MB/s column (b.SetBytes) before the -benchmem pair.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+// benchName matches the leading `BenchmarkName-8  123  ` of a result
+// line; the metric columns after it are parsed as value/unit pairs.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func parse(r io.Reader) (map[string]result, error) {
 	out := make(map[string]result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		m := benchName.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
-		}
-		cur := result{ns: ns, allocs: -1}
-		if m[3] != "" {
-			a, err := strconv.ParseInt(m[3], 10, 64)
+		cur := result{allocs: -1}
+		sawNs := false
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %v", sc.Text(), err)
+				return nil, fmt.Errorf("benchgate: bad metric value in %q: %v", sc.Text(), err)
 			}
-			cur.allocs, cur.hasMem = a, true
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				cur.ns, sawNs = v, true
+			case "allocs/op":
+				cur.allocs, cur.hasMem = int64(v), true
+			case "B/op", "MB/s":
+				// tracked elsewhere (allocs/op) or too noisy to gate
+			default:
+				if cur.extra == nil {
+					cur.extra = make(map[string]float64)
+				}
+				cur.extra[unit] = v
+			}
+		}
+		if !sawNs {
+			continue
 		}
 		if prev, ok := out[m[1]]; ok {
 			if prev.ns < cur.ns {
@@ -73,6 +92,14 @@ func parse(r io.Reader) (map[string]result, error) {
 			}
 			if prev.hasMem && (!cur.hasMem || prev.allocs < cur.allocs) {
 				cur.allocs, cur.hasMem = prev.allocs, true
+			}
+			for unit, v := range prev.extra {
+				if cv, ok := cur.extra[unit]; !ok || v < cv {
+					if cur.extra == nil {
+						cur.extra = make(map[string]float64)
+					}
+					cur.extra[unit] = v
+				}
 			}
 		}
 		out[m[1]] = cur
@@ -139,7 +166,10 @@ func main() {
 			continue
 		}
 		verdict := "ok"
-		if b.hasMem && c.hasMem && c.allocs > b.allocs+*extraAllocs {
+		if v := gateCardinality(b, c); v != "" {
+			verdict = v
+			failed = true
+		} else if b.hasMem && c.hasMem && c.allocs > b.allocs+*extraAllocs {
 			verdict = fmt.Sprintf("FAIL (allocs/op %d > baseline %d)", c.allocs, b.allocs)
 			failed = true
 		} else if *nsTol > 0 && c.ns > b.ns*(1+*nsTol) {
@@ -154,6 +184,30 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// gateCardinality diffs the baseline's asserted result-cardinality
+// metrics ("rows"-unit columns) against the current run, exactly: a
+// deterministic workload that joins to a different row count is a
+// correctness regression, never noise.
+func gateCardinality(b, c result) string {
+	units := make([]string, 0, len(b.extra))
+	for u := range b.extra {
+		if strings.HasSuffix(u, "rows") {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		cv, ok := c.extra[u]
+		if !ok {
+			return fmt.Sprintf("FAIL (%s metric missing from current run)", u)
+		}
+		if cv != b.extra[u] {
+			return fmt.Sprintf("FAIL (%s %g != baseline %g)", u, cv, b.extra[u])
+		}
+	}
+	return ""
 }
 
 func allocStr(r result) string {

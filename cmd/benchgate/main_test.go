@@ -38,3 +38,37 @@ func TestParse(t *testing.T) {
 		t.Fatalf("benchmem-less line mishandled: %+v", sm)
 	}
 }
+
+const rowsSample = `BenchmarkMultiJoinDP-4   	      10	  11000000 ns/op	       250 rows	     120 B/op	       3 allocs/op
+BenchmarkMultiJoinDP-4   	      10	  10500000 ns/op	       250 rows	     100 B/op	       2 allocs/op
+`
+
+func TestParseCustomMetrics(t *testing.T) {
+	got, err := parse(strings.NewReader(rowsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkMultiJoinDP"]
+	if r.ns != 10500000 || r.allocs != 2 || r.extra["rows"] != 250 {
+		t.Fatalf("custom metric not parsed: %+v", r)
+	}
+}
+
+func TestGateCardinality(t *testing.T) {
+	base := result{ns: 1, extra: map[string]float64{"rows": 250}}
+	if v := gateCardinality(base, result{ns: 1, extra: map[string]float64{"rows": 250}}); v != "" {
+		t.Fatalf("equal cardinality flagged: %q", v)
+	}
+	if v := gateCardinality(base, result{ns: 1, extra: map[string]float64{"rows": 240}}); !strings.Contains(v, "240") {
+		t.Fatalf("cardinality drift not flagged: %q", v)
+	}
+	if v := gateCardinality(base, result{ns: 1}); !strings.Contains(v, "missing") {
+		t.Fatalf("missing cardinality metric not flagged: %q", v)
+	}
+	// A faster run must not mask a cardinality regression: rows gates
+	// before ns/op and ignores it entirely.
+	fast := result{ns: 0.1, extra: map[string]float64{"rows": 0}}
+	if v := gateCardinality(base, fast); v == "" {
+		t.Fatal("zero-row result passed the gate")
+	}
+}

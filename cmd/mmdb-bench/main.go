@@ -20,7 +20,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	_ "repro/internal/obsbench" // registers the telemetry-overhead experiment
+	_ "repro/internal/joinorderbench" // registers the join-ordering experiment
+	_ "repro/internal/obsbench"       // registers the telemetry-overhead experiment
 )
 
 // jsonReport is the machine-readable run record the -json flag writes:

@@ -145,6 +145,30 @@ func (m *Manager) Lock(txn TxnID, res Resource, mode Mode) error {
 	return err
 }
 
+// TryLock acquires res in mode only if it is immediately grantable —
+// no queueing, no waiting, no deadlock detection. It reports whether
+// the lock was taken (or already held at sufficient strength). Callers
+// that must never block on writers (statistics exposition) use it and
+// degrade gracefully on false.
+func (m *Manager) TryLock(txn TxnID, res Resource, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.locks[res]
+	if st == nil {
+		st = &state{holders: make(map[TxnID]Mode)}
+		m.locks[res] = st
+	}
+	if cur, ok := st.holders[txn]; ok && (cur == Exclusive || cur == mode) {
+		return true
+	}
+	// Same fairness rule as Lock: never jump a non-empty queue.
+	if len(st.queue) == 0 && m.grantable(st, txn, mode) {
+		m.grant(st, txn, res, mode)
+		return true
+	}
+	return false
+}
+
 // grantable reports whether txn can hold res in mode right now.
 func (m *Manager) grantable(st *state, txn TxnID, mode Mode) bool {
 	for h, hm := range st.holders {

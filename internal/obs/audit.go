@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -86,6 +87,11 @@ func (d Decision) Line() string {
 func FmtCount(v float64) string {
 	switch {
 	case v < 10_000:
+		// Fractional counts are forecasts; one decimal carries all the
+		// signal an estimate has.
+		if v != math.Trunc(v) {
+			return trimZero(fmt.Sprintf("%.1f", v))
+		}
 		return fmt.Sprintf("%g", v)
 	case v < 1<<20:
 		return trimZero(fmt.Sprintf("%.1f", v/(1<<10))) + "Ki"

@@ -41,6 +41,23 @@ type Snapshot struct {
 	// radix partition-skew distribution.
 	PlanMispredicts map[string]int64       `json:"plan_mispredicts,omitempty"`
 	RadixSkew       FloatHistogramSnapshot `json:"radix_skew"`
+
+	// Tables carries the per-relation statistics snapshots the join-order
+	// planner runs on. The registry itself does not track these — the
+	// engine's Database.Stats() fills them in from storage, so they are
+	// present even when metrics are disabled.
+	Tables []TableStat `json:"tables,omitempty"`
+}
+
+// TableStat is one relation's sampled statistics (see Snapshot.Tables):
+// the exact row count, per-column distinct-value estimates in schema
+// order, and how many rows the last refresh sampled. Plain data, so obs
+// carries no storage dependency.
+type TableStat struct {
+	Name        string    `json:"name"`
+	Rows        int       `json:"rows"`
+	NDV         []float64 `json:"ndv,omitempty"`
+	SampledRows int       `json:"sampled_rows,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Safe on a nil receiver

@@ -61,6 +61,8 @@ func TestFmtCount(t *testing.T) {
 		0:         "0",
 		42:        "42",
 		9999:      "9999",
+		20.0 / 3:  "6.7",
+		7.02:      "7",
 		128 << 10: "128Ki",
 		1 << 20:   "1Mi",
 		3 << 30:   "3Gi",

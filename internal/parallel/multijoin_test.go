@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/meter"
+	"repro/internal/storage"
+)
+
+// buildRel creates a relation with schema (val int, seq int).
+func buildRel(t testing.TB, ids *storage.IDGen, name string, values []int64) *storage.Relation {
+	t.Helper()
+	schema := storage.MustSchema(
+		storage.FieldDef{Name: "val", Type: storage.Int},
+		storage.FieldDef{Name: "seq", Type: storage.Int},
+	)
+	rel, err := storage.NewRelation(name, schema, storage.Config{}, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if _, err := rel.Insert([]storage.Value{storage.IntValue(v), storage.IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+func modVals(n int, mod int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % mod
+	}
+	return out
+}
+
+func TestRunPipelineParallelMatchesSerial(t *testing.T) {
+	ids := storage.NewIDGen()
+	av, bv, cv := modVals(20000, 64), modVals(512, 64), modVals(64, 64)
+	ra := buildRel(t, ids, "a", av)
+	rb := buildRel(t, ids, "b", bv)
+	rc := buildRel(t, ids, "c", cv)
+	var m meter.Counters
+	tb := exec.BuildStageTable(RelationSource{Rel: rb}, 0, 0, &m)
+	tc := exec.BuildStageTable(RelationSource{Rel: rc}, 0, 0, &m)
+	desc := storage.Descriptor{Sources: []string{"a", "b", "c"}}
+	mkSpec := func(mm *meter.Counters) exec.PipelineSpec {
+		return exec.PipelineSpec{
+			Slots:      3,
+			DriverSlot: 0,
+			Stages: []exec.StageSpec{
+				{Table: tb, BuildField: 0, BuildSlot: 1, ProbeSlot: 0, ProbeField: 0},
+				{Table: tc, BuildField: 0, BuildSlot: 2, ProbeSlot: 1, ProbeField: 0},
+			},
+			Meter: mm,
+		}
+	}
+	var ms meter.Counters
+	serialOut, serialStages, serialN := RunPipeline(RelationSource{Rel: ra}, mkSpec(&ms), desc, 0, 1)
+	for _, w := range []int{2, 4, 8} {
+		var mp meter.Counters
+		parOut, parStages, parN := RunPipeline(RelationSource{Rel: ra}, mkSpec(&mp), desc, 0, w)
+		if parN != serialN || parOut.Len() != serialOut.Len() {
+			t.Fatalf("w=%d: %d rows, serial %d", w, parN, serialN)
+		}
+		for k := range serialStages {
+			if parStages[k] != serialStages[k] {
+				t.Fatalf("w=%d: stage %d rows %d, serial %d", w, k, parStages[k], serialStages[k])
+			}
+		}
+		// Counters must fold to the same totals (same probes and
+		// comparisons, just spread over workers).
+		if mp.HashCalls != ms.HashCalls || mp.Comparisons != ms.Comparisons {
+			t.Fatalf("w=%d: counters hash=%d cmp=%d, serial hash=%d cmp=%d",
+				w, mp.HashCalls, mp.Comparisons, ms.HashCalls, ms.Comparisons)
+		}
+		// Same multiset: compare sorted (val, aseq, bseq, cseq) sets.
+		count := map[[3]int64]int{}
+		serialOut.Scan(func(_ int, row storage.Row) bool {
+			count[[3]int64{row[0].Field(1).Int(), row[1].Field(1).Int(), row[2].Field(1).Int()}]++
+			return true
+		})
+		parOut.Scan(func(_ int, row storage.Row) bool {
+			count[[3]int64{row[0].Field(1).Int(), row[1].Field(1).Int(), row[2].Field(1).Int()}]--
+			return true
+		})
+		for k, v := range count {
+			if v != 0 {
+				t.Fatalf("w=%d: multiset mismatch at %v (%+d)", w, k, v)
+			}
+		}
+	}
+}
+
+func TestRunPipelineDiscardAndEmpty(t *testing.T) {
+	ids := storage.NewIDGen()
+	ra := buildRel(t, ids, "a", modVals(10000, 16))
+	rb := buildRel(t, ids, "b", modVals(160, 16))
+	var m meter.Counters
+	tb := exec.BuildStageTable(RelationSource{Rel: rb}, 0, 0, &m)
+	desc := storage.Descriptor{Sources: []string{"a", "b"}}
+	spec := exec.PipelineSpec{
+		Slots:      2,
+		DriverSlot: 0,
+		Stages:     []exec.StageSpec{{Table: tb, BuildField: 0, BuildSlot: 1, ProbeSlot: 0, ProbeField: 0}},
+		Discard:    true,
+		Meter:      &m,
+	}
+	out, _, n := RunPipeline(RelationSource{Rel: ra}, spec, desc, 0, 4)
+	if out != nil {
+		t.Fatal("discard produced a list")
+	}
+	if want := 10000 * 10; n != want {
+		t.Fatalf("discard count %d, want %d", n, want)
+	}
+	// Empty driver.
+	re := buildRel(t, ids, "e", nil)
+	spec.Discard = false
+	out2, _, n2 := RunPipeline(RelationSource{Rel: re}, spec, desc, 0, 4)
+	if n2 != 0 || out2 == nil || out2.Len() != 0 {
+		t.Fatalf("empty driver: n=%d out=%v", n2, out2)
+	}
+}
+
+func TestRunPipelineLimitDelegatesSerial(t *testing.T) {
+	ids := storage.NewIDGen()
+	ra := buildRel(t, ids, "a", modVals(5000, 8))
+	rb := buildRel(t, ids, "b", modVals(80, 8))
+	var m meter.Counters
+	tb := exec.BuildStageTable(RelationSource{Rel: rb}, 0, 0, &m)
+	desc := storage.Descriptor{Sources: []string{"a", "b"}}
+	spec := exec.PipelineSpec{
+		Slots:      2,
+		DriverSlot: 0,
+		Stages:     []exec.StageSpec{{Table: tb, BuildField: 0, BuildSlot: 1, ProbeSlot: 0, ProbeField: 0}},
+		Limit:      13,
+		Meter:      &m,
+	}
+	out, _, n := RunPipeline(RelationSource{Rel: ra}, spec, desc, 0, 8)
+	if n != 13 || out.Len() != 13 {
+		t.Fatalf("limit 13: n=%d out=%d", n, out.Len())
+	}
+}

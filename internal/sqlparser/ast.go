@@ -76,12 +76,19 @@ type Cond struct {
 	Value  Expr
 }
 
-// Join is JOIN table ON left = right, where either side may be
-// table.column or table.SELF (tuple identity).
+// Join is one step of a FROM join chain: JOIN table [[AS] alias] ON
+// side = side, where a side is name.column or name.SELF (tuple
+// identity). One side of the ON must reference the relation this step
+// joins — its column lands in RightCol — and the other side may
+// reference any earlier relation of the chain by its scope name (the
+// alias if one was given, else the table name), recorded in LeftTable
+// and LeftCol. A column of "" means SELF.
 type Join struct {
-	Table    string
-	LeftCol  string // column of the FROM table, or "" for SELF
-	RightCol string // column of the joined table, or "" for SELF
+	Table     string
+	Alias     string // "" = no alias; the table name is the scope name
+	LeftTable string // scope name of the earlier relation the ON references
+	LeftCol   string // its column, or "" for SELF
+	RightCol  string // column of the joined table, or "" for SELF
 }
 
 // SelectItem is one output column of a SELECT list: a plain column, or an
@@ -99,26 +106,27 @@ type OrderItem struct {
 	Desc bool
 }
 
-// Select is SELECT [DISTINCT] cols FROM table [JOIN ...] [WHERE ...]
-// [GROUP BY ...] [ORDER BY ...] [LIMIT n]; Explain marks EXPLAIN SELECT,
-// and Analyze additionally marks EXPLAIN ANALYZE SELECT (execute and
-// report the operator trace).
+// Select is SELECT [DISTINCT] cols FROM table [[AS] alias]
+// [JOIN ... ON ...]* [WHERE ...] [GROUP BY ...] [ORDER BY ...]
+// [LIMIT n]; Explain marks EXPLAIN SELECT, and Analyze additionally
+// marks EXPLAIN ANALYZE SELECT (execute and report the operator trace).
 //
 // A select list without aggregates populates Cols (empty = *) and leaves
 // Items nil; a list containing any aggregate populates Items with the
 // full list, in order, and leaves Cols nil.
 type Select struct {
-	Explain  bool
-	Analyze  bool
-	Distinct bool
-	Cols     []string     // plain column list; empty = *
-	Items    []SelectItem // full list when aggregates are present
-	From     string
-	Join     *Join
-	Where    []Cond
-	GroupBy  []string
-	OrderBy  []OrderItem
-	Limit    int // -1 = none
+	Explain   bool
+	Analyze   bool
+	Distinct  bool
+	Cols      []string     // plain column list; empty = *
+	Items     []SelectItem // full list when aggregates are present
+	From      string
+	FromAlias string // "" = no alias
+	Joins     []Join // the JOIN chain, in written order
+	Where     []Cond
+	GroupBy   []string
+	OrderBy   []OrderItem
+	Limit     int // -1 = none
 }
 
 func (*Select) stmt() {}

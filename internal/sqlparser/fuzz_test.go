@@ -17,6 +17,11 @@ func FuzzParseSQL(f *testing.F) {
 		`INSERT INTO emp VALUES ('O''Brien', -1, 0.5, NULL, true, REF(dept, id, 459))`,
 		`SELECT * FROM emp`,
 		`SELECT DISTINCT emp.name, dept.name FROM emp JOIN dept ON emp.dept = dept.SELF WHERE age > 65 AND name != 'x' LIMIT 3`,
+		`SELECT f.v, d2.name FROM fact AS f JOIN dim1 d1 ON f.k1 = d1.id JOIN dim2 AS d2 ON d1.k2 = d2.id JOIN dim3 d3 ON d3.id = f.k3`,
+		`SELECT a.name, b.name FROM emp a JOIN emp b ON a.boss = b.SELF JOIN emp c ON b.boss = c.SELF`,
+		`SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON c.z = a.x JOIN d ON d.w = b.y LIMIT 5`,
+		`SELECT * FROM a JOIN b ON b.x = b.y`,
+		`SELECT * FROM a x JOIN b ON a.x = b.y`,
 		`SELECT dept, COUNT(*), AVG(sal) FROM emp GROUP BY dept ORDER BY 2 DESC LIMIT 10`,
 		`SELECT name FROM emp ORDER BY age DESC, emp.name ASC, 1`,
 		`SELECT COUNT(emp.sal), MIN(sal), MAX(sal), SUM(sal) FROM emp`,
@@ -67,6 +72,26 @@ func FuzzParseSQL(f *testing.F) {
 		}
 		if sel.Limit < -1 {
 			t.Fatalf("Parse(%q): limit %d below -1", src, sel.Limit)
+		}
+		// Every accepted join step names its table and relates it to an
+		// earlier relation of the chain — the executor builds the join
+		// graph from these without re-validating.
+		scope := map[string]bool{sel.From: true}
+		if sel.FromAlias != "" {
+			scope = map[string]bool{sel.FromAlias: true}
+		}
+		for _, j := range sel.Joins {
+			if j.Table == "" || j.LeftTable == "" {
+				t.Fatalf("Parse(%q): join step missing table or left side: %+v", src, j)
+			}
+			if !scope[j.LeftTable] {
+				t.Fatalf("Parse(%q): join references %q before it is in scope", src, j.LeftTable)
+			}
+			name := j.Table
+			if j.Alias != "" {
+				name = j.Alias
+			}
+			scope[name] = true
 		}
 	})
 }

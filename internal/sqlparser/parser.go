@@ -354,10 +354,20 @@ func (p *parser) selectStmt() (*Select, error) {
 	if sel.From, err = p.ident(); err != nil {
 		return nil, err
 	}
-	if p.kw("join") {
-		if sel.Join, err = p.join(sel.From); err != nil {
+	if sel.FromAlias, err = p.tableAlias(); err != nil {
+		return nil, err
+	}
+	scope := []string{sel.From}
+	if sel.FromAlias != "" {
+		scope[0] = sel.FromAlias
+	}
+	for p.kw("join") {
+		j, name, err := p.join(scope)
+		if err != nil {
 			return nil, err
 		}
+		sel.Joins = append(sel.Joins, j)
+		scope = append(scope, name)
 	}
 	if p.kw("where") {
 		if sel.Where, err = p.whereConds(); err != nil {
@@ -491,38 +501,81 @@ func (p *parser) qualifiedName() (string, error) {
 	return a, nil
 }
 
-// join parses: table ON side = side, where a side is table.column or
-// table.SELF. The FROM-table side becomes LeftCol, the joined side
-// RightCol (empty string = SELF).
-func (p *parser) join(from string) (*Join, error) {
+// tableAlias parses the optional [AS] alias after a table name in FROM
+// or JOIN. A bare identifier is an alias unless it starts a clause.
+func (p *parser) tableAlias() (string, error) {
+	if p.kw("as") {
+		return p.ident()
+	}
+	t := p.peek()
+	if t.kind == tokIdent && !clauseKeyword(t.text) {
+		p.i++
+		return t.text, nil
+	}
+	return "", nil
+}
+
+// clauseKeyword reports whether the identifier starts a clause (and so
+// cannot be a bare table alias).
+func clauseKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "as", "on", "join", "where", "group", "order", "limit":
+		return true
+	}
+	return false
+}
+
+// join parses one chain step: table [[AS] alias] ON side = side, where
+// a side is name.column or name.SELF. The side naming the newly joined
+// relation becomes RightCol; the other side must name an earlier
+// relation of scope and becomes LeftTable/LeftCol ("" = SELF). Returns
+// the step and the new relation's scope name.
+func (p *parser) join(scope []string) (Join, string, error) {
 	table, err := p.ident()
 	if err != nil {
-		return nil, err
+		return Join{}, "", err
+	}
+	alias, err := p.tableAlias()
+	if err != nil {
+		return Join{}, "", err
+	}
+	name := table
+	if alias != "" {
+		name = alias
 	}
 	if err := p.expectKw("on"); err != nil {
-		return nil, err
+		return Join{}, "", err
 	}
 	t1, c1, err := p.joinSide()
 	if err != nil {
-		return nil, err
+		return Join{}, "", err
 	}
 	if err := p.expectPunct("="); err != nil {
-		return nil, err
+		return Join{}, "", err
 	}
 	t2, c2, err := p.joinSide()
 	if err != nil {
-		return nil, err
+		return Join{}, "", err
 	}
-	j := &Join{Table: table}
+	in := func(n string) bool {
+		for _, s := range scope {
+			if s == n {
+				return true
+			}
+		}
+		return false
+	}
+	j := Join{Table: table, Alias: alias}
 	switch {
-	case t1 == from && t2 == table:
-		j.LeftCol, j.RightCol = c1, c2
-	case t1 == table && t2 == from:
-		j.LeftCol, j.RightCol = c2, c1
+	case t1 == name && t2 != name && in(t2):
+		j.LeftTable, j.LeftCol, j.RightCol = t2, c2, c1
+	case t2 == name && t1 != name && in(t1):
+		j.LeftTable, j.LeftCol, j.RightCol = t1, c1, c2
 	default:
-		return nil, p.errf("join condition must relate %s and %s", from, table)
+		return Join{}, "", p.errf("join condition must relate %s to an earlier table (%s)",
+			name, strings.Join(scope, ", "))
 	}
-	return j, nil
+	return j, name, nil
 }
 
 // joinSide parses table.column or table.SELF; returns column "" for SELF.

@@ -86,8 +86,12 @@ func TestSelectFull(t *testing.T) {
 	if len(sel.Cols) != 2 || sel.Cols[0] != "emp.name" {
 		t.Fatalf("cols: %v", sel.Cols)
 	}
-	if sel.Join == nil || sel.Join.Table != "dept" || sel.Join.LeftCol != "dept" || sel.Join.RightCol != "" {
-		t.Fatalf("join: %+v", sel.Join)
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins: %+v", sel.Joins)
+	}
+	j := sel.Joins[0]
+	if j.Table != "dept" || j.LeftTable != "emp" || j.LeftCol != "dept" || j.RightCol != "" {
+		t.Fatalf("join: %+v", j)
 	}
 	if len(sel.Where) != 2 || sel.Where[0].Op != ">" || sel.Where[1].Op != "!=" {
 		t.Fatalf("where: %+v", sel.Where)
@@ -96,7 +100,7 @@ func TestSelectFull(t *testing.T) {
 
 func TestSelectStar(t *testing.T) {
 	sel := parse(t, `SELECT * FROM emp`).(*Select)
-	if len(sel.Cols) != 0 || sel.From != "emp" || sel.Join != nil || sel.Limit != -1 {
+	if len(sel.Cols) != 0 || sel.From != "emp" || len(sel.Joins) != 0 || sel.Limit != -1 {
 		t.Fatalf("%+v", sel)
 	}
 }
@@ -104,8 +108,57 @@ func TestSelectStar(t *testing.T) {
 func TestSelectJoinReversedCondition(t *testing.T) {
 	// dept.SELF = emp.dept must normalize the same way as the mirror form.
 	sel := parse(t, `SELECT * FROM emp JOIN dept ON dept.SELF = emp.dept`).(*Select)
-	if sel.Join.LeftCol != "dept" || sel.Join.RightCol != "" {
-		t.Fatalf("%+v", sel.Join)
+	j := sel.Joins[0]
+	if j.LeftTable != "emp" || j.LeftCol != "dept" || j.RightCol != "" {
+		t.Fatalf("%+v", j)
+	}
+}
+
+// TestSelectJoinChain: chained joins with table aliases. Each step may
+// reference any earlier relation by its scope name (alias when given),
+// so chains, stars, and self-joins all parse.
+func TestSelectJoinChain(t *testing.T) {
+	sel := parse(t, `SELECT f.v, d2.name FROM fact AS f JOIN dim1 d1 ON f.k1 = d1.id JOIN dim2 AS d2 ON d1.k2 = d2.id JOIN dim3 d3 ON d3.id = f.k3`).(*Select)
+	if sel.From != "fact" || sel.FromAlias != "f" || len(sel.Joins) != 3 {
+		t.Fatalf("%+v", sel)
+	}
+	want := []Join{
+		{Table: "dim1", Alias: "d1", LeftTable: "f", LeftCol: "k1", RightCol: "id"},
+		{Table: "dim2", Alias: "d2", LeftTable: "d1", LeftCol: "k2", RightCol: "id"},
+		{Table: "dim3", Alias: "d3", LeftTable: "f", LeftCol: "k3", RightCol: "id"},
+	}
+	for i, w := range want {
+		if sel.Joins[i] != w {
+			t.Fatalf("join %d: %+v, want %+v", i, sel.Joins[i], w)
+		}
+	}
+}
+
+// TestSelectSelfJoinAliases: the same table joined to itself under two
+// aliases, each ON side resolving by alias.
+func TestSelectSelfJoinAliases(t *testing.T) {
+	sel := parse(t, `SELECT a.name, b.name FROM emp a JOIN emp b ON a.boss = b.SELF`).(*Select)
+	if sel.FromAlias != "a" || len(sel.Joins) != 1 {
+		t.Fatalf("%+v", sel)
+	}
+	if j := sel.Joins[0]; j.Table != "emp" || j.Alias != "b" || j.LeftTable != "a" || j.LeftCol != "boss" || j.RightCol != "" {
+		t.Fatalf("%+v", j)
+	}
+}
+
+// TestJoinChainErrors: a join step must relate the new relation to an
+// earlier one — never itself twice, never two unknown names.
+func TestJoinChainErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM a JOIN b ON b.x = b.y`,
+		`SELECT * FROM a JOIN b ON a.x = a.y`,
+		`SELECT * FROM a x JOIN b ON a.x = b.y`, // alias shadows the table name
+		`SELECT * FROM a JOIN b ON c.x = b.y JOIN c ON c.z = a.x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "join condition") {
+			t.Errorf("Parse(%q): err=%v, want join-condition error", src, err)
+		}
 	}
 }
 
@@ -131,7 +184,7 @@ func TestParseErrors(t *testing.T) {
 		`SELECT * FROM`,
 		`SELECT * FROM emp WHERE`,
 		`SELECT * FROM emp WHERE age !! 5`,
-		`SELECT * FROM emp extra`,
+		`SELECT * FROM emp extra stuff`, // one bare ident is an alias; two is junk
 		`INSERT INTO emp`,
 		`INSERT INTO emp VALUES ('unterminated)`,
 		`CREATE emp (a INT)`,

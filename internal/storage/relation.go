@@ -68,6 +68,9 @@ type Relation struct {
 	tslab    []Tuple
 	varena   []Value
 	slabRows int // chunk size in tuples, doubling up to slabMaxRows
+
+	// stats caches the sampled statistics snapshot (see stats.go).
+	stats relStats
 }
 
 // AddInsertCheck registers a validator run before every insert; a non-nil
@@ -158,6 +161,7 @@ func (r *Relation) Insert(vals []Value) (*Tuple, error) {
 	t := r.newTuple(r.ids.Next(), vals)
 	r.placeTuple(t)
 	r.count++
+	r.noteDML()
 	for _, o := range r.observers {
 		o.TupleInserted(t)
 	}
@@ -210,6 +214,7 @@ func (r *Relation) Delete(t *Tuple) error {
 	t.dead = true
 	t.part.remove(t)
 	r.count--
+	r.noteDML()
 	return nil
 }
 
@@ -252,6 +257,7 @@ func (r *Relation) Update(t *Tuple, f int, v Value) error {
 	for _, o := range r.observers {
 		o.TupleUpdated(t.Resolve(), old)
 	}
+	r.noteDML()
 	return nil
 }
 
@@ -291,6 +297,7 @@ func (r *Relation) InsertLoaded(id uint64, vals []Value) (*Tuple, error) {
 	t := r.newTuple(id, vals)
 	r.placeTuple(t)
 	r.count++
+	r.noteDML()
 	r.ids.Reserve(id)
 	return t, nil
 }

@@ -129,6 +129,25 @@ func (t *Txn) LockRelationShared(rel *storage.Relation) error {
 	return nil
 }
 
+// TryLockRelationShared is LockRelationShared without blocking: it
+// reports false (releasing nothing — the caller aborts the ephemeral
+// transaction) when any of the locks is not immediately grantable.
+// Statistics exposition uses it to avoid stalling behind writers.
+func (t *Txn) TryLockRelationShared(rel *storage.Relation) bool {
+	if t.done {
+		return false
+	}
+	if !t.m.Locks.TryLock(t.lockID(), rel, lock.Shared) {
+		return false
+	}
+	for _, p := range rel.Partitions() {
+		if !t.m.Locks.TryLock(t.lockID(), p, lock.Shared) {
+			return false
+		}
+	}
+	return true
+}
+
 // Insert buffers an insert. Schema validation happens immediately; the
 // tuple is created at Commit (deferred update), so its pointer is returned
 // by Commit, not here. The relation's insert region is locked exclusively.

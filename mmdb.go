@@ -92,6 +92,14 @@ type Options struct {
 	// algorithms, JoinRadix forces radix whenever legal.
 	// Query.JoinMethod overrides it per query.
 	JoinMethod JoinStrategy
+	// JoinOrder selects how queries over three or more relations order
+	// their joins: JoinOrderAuto (default) runs the cost-forecasted
+	// enumerator (exact dynamic programming up to plan.DPMaxRels
+	// relations, greedy min-cost-edge beyond), JoinOrderLeftDeep
+	// executes the joins in the order the query wrote them, and
+	// JoinOrderForced requires Query.ForceJoinOrder on each query.
+	// Query.JoinOrder overrides it per query.
+	JoinOrder JoinOrderStrategy
 	// Radix tunes the radix execution paths: target per-partition cache
 	// footprint, per-pass fan-out caps, and the build-size crossover
 	// below which the paper's original algorithms always run. The zero
@@ -152,6 +160,27 @@ const (
 	// without an early-exit limit), sizing a minimal plan even for
 	// builds below the crossover.
 	JoinRadix
+)
+
+// JoinOrderStrategy selects how the multi-join planner orders the
+// joins of a query over three or more relations. Whatever the order,
+// the result multiset is identical — only the intermediate-result
+// sizes (and so the run time) differ.
+type JoinOrderStrategy int
+
+// Join-order strategies for Options.JoinOrder / Query.JoinOrder.
+const (
+	// JoinOrderAuto runs the cost-forecasted enumerator: exact dynamic
+	// programming over connected subgraphs up to plan.DPMaxRels
+	// relations, greedy min-cost-edge expansion beyond.
+	JoinOrderAuto JoinOrderStrategy = iota
+	// JoinOrderLeftDeep executes the joins in the order the query wrote
+	// them (the classic as-written left-deep pipeline), skipping the
+	// enumerator entirely.
+	JoinOrderLeftDeep
+	// JoinOrderForced executes the order given to Query.ForceJoinOrder;
+	// a query without one fails.
+	JoinOrderForced
 )
 
 // RadixConfig tunes the radix execution paths; see plan.RadixConfig.

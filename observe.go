@@ -27,9 +27,39 @@ type TraceNode = obs.TraceNode
 // execution observed.
 type Decision = obs.Decision
 
-// Stats snapshots the engine metrics. With metrics disabled
-// (Options.DisableMetrics) it returns the zero Stats.
-func (db *Database) Stats() Stats { return db.obs.Snapshot() }
+// TableStat is one relation's sampled statistics from Stats().Tables:
+// exact row count plus per-column distinct-value estimates, refreshed
+// lazily as DML accumulates. The join-order planner costs n-way joins
+// from these numbers.
+type TableStat = obs.TableStat
+
+// Stats snapshots the engine metrics plus per-relation statistics. With
+// metrics disabled (Options.DisableMetrics) the registry portion is the
+// zero Stats, but Tables is still populated — the planner's statistics
+// live in storage, not in the metrics registry.
+func (db *Database) Stats() Stats {
+	s := db.obs.Snapshot()
+	s.Tables = db.tableStats()
+	return s
+}
+
+// tableStats snapshots every relation's statistics under shared table
+// locks, the same protocol queries read under.
+func (db *Database) tableStats() []obs.TableStat {
+	var stats []obs.TableStat
+	for _, name := range db.Tables() {
+		t, ok := db.Table(name)
+		if !ok {
+			continue
+		}
+		ts, err := t.Stats()
+		if err != nil {
+			continue
+		}
+		stats = append(stats, obs.TableStat(ts))
+	}
+	return stats
+}
 
 // Metrics returns the engine metrics registry, or nil when metrics are
 // disabled. All registry methods are safe on a nil receiver, so callers

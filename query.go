@@ -35,16 +35,19 @@ const (
 // join of §2.1 Query 2 (the other side's column must be a Ref field).
 const Self = "__self__"
 
-// Query is a fluent query over one table, optionally joined to a second.
-// The planner picks access paths and join methods by the paper's
-// preference ordering (§4); Explain describes its expected choices,
-// Analyze runs the query and reports what actually executed.
+// Query is a fluent query over one table, optionally joined to further
+// tables. Two-way joins run the paper's preference ordering (§4) over
+// its join repertoire; three and more relations route through the
+// cost-forecasted join-order planner and the pipelined multi-join
+// executor. Explain describes the expected choices, Analyze runs the
+// query and reports what actually executed.
 type Query struct {
 	db        *Database
 	from      *Table
 	tx        *Txn
+	rels      []qrel // rels[0] is the from-table; Join/JoinAs append
+	joins     []qjoin
 	preds     []qpred
-	join      *qjoin
 	cols      []string
 	distinct  bool
 	groupBy   []string
@@ -54,6 +57,8 @@ type Query struct {
 	par       int           // requested parallelism; 0 = database default
 	strategy  *JoinStrategy // per-query Options.JoinMethod override
 	sortStrat *SortStrategy // per-query Options.SortMethod override
+	ordStrat  *JoinOrderStrategy // per-query Options.JoinOrder override
+	forced    []string           // ForceJoinOrder relation names
 	err       error
 	// forceJoin overrides the planner's join choice — a testing hook that
 	// lets trace tests exercise methods the preference ordering would not
@@ -78,10 +83,25 @@ type qpred struct {
 	val    Value
 }
 
+// qrel is one relation in the query's scope: the from-table at index 0,
+// then one entry per Join/JoinAs in declaration order. name is the scope
+// name — the alias when one was given, else the table name — and is what
+// qualified columns, output descriptors, and plan lines use.
+type qrel struct {
+	t    *Table
+	name string
+}
+
+// qjoin is one join edge: rels[rightRel] (joined at this step) equi-
+// joined to the earlier rels[leftRel]. A field of tupleindex.SelfField
+// joins on tuple identity. closing marks an edge added by On between
+// two relations already in scope — the cycle-closing predicate of a
+// cyclic join graph.
 type qjoin struct {
-	table                 *Table
+	leftRel, rightRel     int
 	leftCol, rightCol     string
 	leftField, rightField int
+	closing               bool
 }
 
 // AggFunc identifies an aggregate function for Query.Agg.
@@ -133,7 +153,23 @@ func (db *Database) Query(table string) *Query {
 	if !ok {
 		return &Query{db: db, err: fmt.Errorf("mmdb: no table %q", table), limit: -1}
 	}
-	return &Query{db: db, from: t, limit: -1}
+	return &Query{db: db, from: t, rels: []qrel{{t: t, name: table}}, limit: -1}
+}
+
+// As renames the from-table's scope name (a table alias), so qualified
+// columns and join conditions can tell multiple uses of one table
+// apart: db.Query("emp").As("a").JoinAs("emp", "b", "a.boss", Self).
+// Call it before any Join.
+func (q *Query) As(alias string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if len(q.rels) > 1 {
+		q.err = fmt.Errorf("mmdb: As must be called before Join")
+		return q
+	}
+	q.rels[0].name = alias
+	return q
 }
 
 // Where adds a predicate on a column of the from-table, named "col" or
@@ -146,8 +182,8 @@ func (q *Query) Where(column string, op Op, v Value) *Query {
 		return q
 	}
 	if tbl, col, ok := strings.Cut(column, "."); ok {
-		if tbl != q.from.Name() {
-			q.err = fmt.Errorf("mmdb: WHERE %s: predicates must be on the from-table %s", column, q.from.Name())
+		if tbl != q.rels[0].name {
+			q.err = fmt.Errorf("mmdb: WHERE %s: predicates must be on the from-table %s", column, q.rels[0].name)
 			return q
 		}
 		column = col
@@ -161,15 +197,22 @@ func (q *Query) Where(column string, op Op, v Value) *Query {
 	return q
 }
 
-// Join equijoins the from-table (left) with another table (right).
-// Either column may be Self to join on tuple identity, enabling
-// pointer-compare joins against Ref columns.
+// Join equijoins an already-joined relation (left) with another table
+// (right). leftColumn is "col" (resolved against the in-scope relations
+// in declaration order) or "name.col" (name = a table or alias already
+// in scope); either column may be Self to join on tuple identity,
+// enabling pointer-compare joins against Ref columns. Chaining Join
+// calls builds an n-way join graph; with three or more relations the
+// planner picks the execution order by cost forecast (Options.JoinOrder
+// and Query.JoinOrder control this).
 func (q *Query) Join(table, leftColumn, rightColumn string) *Query {
+	return q.JoinAs(table, "", leftColumn, rightColumn)
+}
+
+// JoinAs is Join with an alias for the newly joined table, required
+// when the same table participates more than once (self-joins).
+func (q *Query) JoinAs(table, alias, leftColumn, rightColumn string) *Query {
 	if q.err != nil {
-		return q
-	}
-	if q.join != nil {
-		q.err = fmt.Errorf("mmdb: only two-way joins are supported")
 		return q
 	}
 	t, ok := q.db.Table(table)
@@ -177,13 +220,23 @@ func (q *Query) Join(table, leftColumn, rightColumn string) *Query {
 		q.err = fmt.Errorf("mmdb: no table %q", table)
 		return q
 	}
-	j := &qjoin{table: t, leftCol: leftColumn, rightCol: rightColumn,
-		leftField: tupleindex.SelfField, rightField: tupleindex.SelfField}
-	if leftColumn != Self {
-		if j.leftField = q.from.ColumnIndex(leftColumn); j.leftField < 0 {
-			q.err = fmt.Errorf("mmdb: table %s has no column %q", q.from.Name(), leftColumn)
+	name := table
+	if alias != "" {
+		name = alias
+	}
+	for _, r := range q.rels {
+		if r.name == name {
+			q.err = fmt.Errorf("mmdb: relation name %q already in scope; use JoinAs with a distinct alias", name)
 			return q
 		}
+	}
+	j := qjoin{rightRel: len(q.rels), leftCol: leftColumn, rightCol: rightColumn,
+		leftField: tupleindex.SelfField, rightField: tupleindex.SelfField}
+	if rel, field, err := q.resolveJoinLeft(leftColumn); err != nil {
+		q.err = err
+		return q
+	} else {
+		j.leftRel, j.leftField = rel, field
 	}
 	if rightColumn != Self {
 		if j.rightField = t.ColumnIndex(rightColumn); j.rightField < 0 {
@@ -191,8 +244,115 @@ func (q *Query) Join(table, leftColumn, rightColumn string) *Query {
 			return q
 		}
 	}
-	q.join = j
+	q.rels = append(q.rels, qrel{t: t, name: name})
+	q.joins = append(q.joins, j)
 	return q
+}
+
+// On adds an extra equijoin edge between two relations already in
+// scope — the closing edge of a cyclic join graph. Each side is "col",
+// "name.col", or "name.SELF" (resolved like Join's left side); the two
+// sides must land on different relations. The pipeline enforces
+// closing edges after the hash match of whichever stage binds their
+// second relation, whatever order the planner picks.
+func (q *Query) On(leftColumn, rightColumn string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if len(q.rels) < 2 {
+		q.err = fmt.Errorf("mmdb: On needs at least two relations in scope")
+		return q
+	}
+	j := qjoin{leftCol: leftColumn, rightCol: rightColumn, closing: true}
+	var err error
+	if j.leftRel, j.leftField, err = q.resolveJoinLeft(leftColumn); err != nil {
+		q.err = err
+		return q
+	}
+	if j.rightRel, j.rightField, err = q.resolveJoinLeft(rightColumn); err != nil {
+		q.err = err
+		return q
+	}
+	if j.leftRel == j.rightRel {
+		q.err = fmt.Errorf("mmdb: On must relate two different relations (both sides resolve to %s)",
+			q.rels[j.leftRel].name)
+		return q
+	}
+	q.joins = append(q.joins, j)
+	return q
+}
+
+// resolveJoinLeft resolves a join's left side against the in-scope
+// relations: Self and "name.SELF" mean tuple identity (of rels[0] when
+// unqualified); "name.col" resolves name as a scope name; a bare column
+// matches the first in-scope relation that has it.
+func (q *Query) resolveJoinLeft(column string) (rel, field int, err error) {
+	relName := ""
+	if n, col, ok := strings.Cut(column, "."); ok {
+		relName, column = n, col
+	}
+	rel = -1
+	if relName != "" {
+		for i, r := range q.rels {
+			if r.name == relName {
+				rel = i
+				break
+			}
+		}
+		if rel < 0 {
+			return 0, 0, fmt.Errorf("mmdb: join references %q, which is not in scope", relName)
+		}
+	}
+	if column == Self {
+		if rel < 0 {
+			rel = 0
+		}
+		return rel, tupleindex.SelfField, nil
+	}
+	if rel >= 0 {
+		if f := q.rels[rel].t.ColumnIndex(column); f >= 0 {
+			return rel, f, nil
+		}
+		return 0, 0, fmt.Errorf("mmdb: table %s has no column %q", q.rels[rel].name, column)
+	}
+	for i, r := range q.rels {
+		if f := r.t.ColumnIndex(column); f >= 0 {
+			return i, f, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("mmdb: no in-scope table has column %q", column)
+}
+
+// JoinOrder overrides Options.JoinOrder for this query: JoinOrderAuto
+// runs the cost-forecasted enumerator (exact DP up to plan.DPMaxRels
+// relations, greedy beyond), JoinOrderLeftDeep executes the joins in
+// the order they were written, JoinOrderForced executes the order given
+// to ForceJoinOrder. Only queries with three or more relations are
+// affected — a two-way join has no order to choose.
+func (q *Query) JoinOrder(s JoinOrderStrategy) *Query {
+	q.ordStrat = &s
+	return q
+}
+
+// ForceJoinOrder pins the multi-join execution order to the named
+// relations (scope names — aliases where given), driver first. The list
+// must name every relation exactly once, and each relation after the
+// first must share a join edge with the ones before it (the pipeline
+// cannot execute cross products). Implies JoinOrder(JoinOrderForced).
+func (q *Query) ForceJoinOrder(names ...string) *Query {
+	q.forced = names
+	s := JoinOrderForced
+	q.ordStrat = &s
+	return q
+}
+
+// joinOrderStrategy resolves the effective order strategy: per-query
+// override, else the database default.
+func (q *Query) joinOrderStrategy() JoinOrderStrategy {
+	if q.ordStrat != nil {
+		return *q.ordStrat
+	}
+	return q.db.opts.JoinOrder
 }
 
 // Select names the output columns: "col" (resolved against the from-table
@@ -447,9 +607,18 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		defer ephemeral.Abort() // releases the shared locks
 		reader = ephemeral
 	}
-	tables := []*Table{q.from}
-	if q.join != nil && q.join.table != q.from {
-		tables = append(tables, q.join.table)
+	tables := make([]*Table, 0, len(q.rels))
+	for _, r := range q.rels {
+		dup := false
+		for _, t := range tables {
+			if t == r.t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tables = append(tables, r.t)
+		}
 	}
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
 	for _, t := range tables {
@@ -487,7 +656,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	switch {
 	case q.limit == 0:
 		selLimit = 0
-	case q.limit > 0 && !barrier && q.join == nil:
+	case q.limit > 0 && !barrier && len(q.joins) == 0:
 		selLimit = q.limit
 		planNotes = append(planNotes, fmt.Sprintf("limit: %d pushed into selection", q.limit))
 	case q.limit > 0 && !barrier:
@@ -550,8 +719,82 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 	}
 
-	// Phase 2: join.
-	if q.join != nil {
+	// Phase 2 (multi-join): three or more relations route through the
+	// cost-forecasted join-order planner and the pipelined executor.
+	if len(q.joins) >= 2 {
+		var joinMeter meter.Counters
+		if collect {
+			mp = &joinMeter
+		}
+		aq.SetPhase(obs.PhaseJoin)
+		mj, err := q.runMultiJoin(list, mp, pg, joinLimit)
+		if err != nil {
+			return nil, nil, err
+		}
+		preJoin := list.Len()
+		list = mj.list
+		planNotes = append(planNotes, mj.planNotes...)
+		if collect {
+			total.Add(joinMeter)
+			scanned += mj.scanned
+			shape += "→" + fmt.Sprintf("pipeline(%d)", len(q.rels))
+			// Audit the order choice (forecast final cardinality vs what the
+			// pipeline actually emitted) and each stage's forecast.
+			decisions = append(decisions, obs.Decision{
+				Name:      "join order",
+				Chosen:    fmt.Sprintf("%s (%s)", mj.orderText, mj.algorithm),
+				Inputs:    fmt.Sprintf("rels=%d edges=%d", len(q.rels), len(q.joins)),
+				Estimate:  mj.estRows[len(mj.estRows)-1],
+				Actual:    float64(list.Len()),
+				Unit:      "rows",
+				Threshold: 4.0,
+			})
+			for k := range mj.stageRows {
+				decisions = append(decisions, obs.Decision{
+					Name:      "join stage",
+					Chosen:    fmt.Sprintf("⋈ %s (%s)", q.rels[mj.order[k+1]].name, mj.methods[k]),
+					Inputs:    "in rows=" + obs.FmtCount(mj.estRows[k]),
+					Estimate:  mj.estRows[k+1],
+					Actual:    float64(mj.stageRows[k]),
+					Unit:      "rows",
+					Threshold: 4.0,
+				})
+			}
+			if mj.workers > 1 {
+				decisions = append(decisions, obs.Decision{
+					Name:      "workers",
+					Chosen:    fmt.Sprintf("%d worker(s)", mj.workers),
+					Inputs:    "driver rows=" + obs.FmtCount(float64(mj.driverRows)),
+					Estimate:  float64(mj.driverRows) / float64(mj.workers),
+					Actual:    float64(pg.MaxWorkerRows()),
+					Unit:      "rows/worker",
+					Threshold: 4.0,
+				})
+			}
+		}
+		if buildTrace {
+			now := time.Now()
+			node := &obs.TraceNode{
+				Op: "join", Detail: mj.orderText,
+				AccessPath: fmt.Sprintf("pipelined multi-join (%s order)", mj.algorithm),
+				RowsIn:     preJoin, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
+				Workers: mj.workers,
+			}
+			in := mj.driverRows
+			for k := range mj.stageRows {
+				node.Add(&obs.TraceNode{
+					Op: "join", Detail: "⋈ " + q.rels[mj.order[k+1]].name,
+					AccessPath: mj.methods[k] + fmt.Sprintf(" (forecast %s rows)", obs.FmtCount(mj.estRows[k+1])),
+					RowsIn:     in, RowsOut: int(mj.stageRows[k]),
+				})
+				in = int(mj.stageRows[k])
+			}
+			root.Add(node)
+			t0 = now
+		}
+	} else if len(q.joins) == 1 {
+		// Phase 2 (single join): the paper's §4 preference ordering over
+		// its two-way join repertoire.
 		var joinMeter meter.Counters
 		if collect {
 			mp = &joinMeter
@@ -560,7 +803,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		jr := q.runJoin(list, mp, pg, joinLimit)
 		list = jr.list
 		planNotes = append(planNotes,
-			fmt.Sprintf("join %s ⋈ %s: %s", q.from.Name(), q.join.table.Name(), jr.method))
+			fmt.Sprintf("join %s ⋈ %s: %s", q.rels[0].name, q.rels[1].name, jr.method))
 		if jr.method == plan.JoinSortMerge && jr.sortMethod == plan.SortRadixKey {
 			planNotes = append(planNotes, "sort: "+jr.sortMethod.String()+" (normalized-key array builds)")
 		}
@@ -628,7 +871,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		if buildTrace {
 			now := time.Now()
 			node := &obs.TraceNode{
-				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.from.Name(), q.join.table.Name()),
+				Op: "join", Detail: fmt.Sprintf("%s ⋈ %s", q.rels[0].name, q.rels[1].name),
 				AccessPath: jr.method.String(),
 				RowsIn:     jr.rowsIn, RowsOut: list.Len(), Wall: now.Sub(t0), Ops: joinMeter,
 				Workers: jr.workers,
@@ -911,8 +1154,23 @@ func (q *Query) text() string {
 	}
 	b.WriteString(" FROM ")
 	b.WriteString(q.from.Name())
-	if j := q.join; j != nil {
-		fmt.Fprintf(&b, " JOIN %s ON %s=%s", j.table.Name(), j.leftCol, j.rightCol)
+	if q.rels[0].name != q.from.Name() {
+		b.WriteString(" " + q.rels[0].name)
+	}
+	for _, j := range q.joins {
+		r := q.rels[j.rightRel]
+		if j.closing {
+			// Closing edge of a cycle: continuation of the last JOIN clause.
+			fmt.Fprintf(&b, " AND %s.%s=%s.%s",
+				q.rels[j.leftRel].name, colOrSelf(j.leftCol), r.name, colOrSelf(j.rightCol))
+			continue
+		}
+		fmt.Fprintf(&b, " JOIN %s", r.t.Name())
+		if r.name != r.t.Name() {
+			b.WriteString(" " + r.name)
+		}
+		fmt.Fprintf(&b, " ON %s.%s=%s.%s",
+			q.rels[j.leftRel].name, colOrSelf(j.leftCol), r.name, colOrSelf(j.rightCol))
 	}
 	for i, p := range q.preds {
 		if i == 0 {
@@ -934,6 +1192,14 @@ func (q *Query) text() string {
 		fmt.Fprintf(&b, " LIMIT %d", q.limit)
 	}
 	return b.String()
+}
+
+// colOrSelf renders a join column for display ("SELF" for identity).
+func colOrSelf(col string) string {
+	if col == Self {
+		return "SELF"
+	}
+	return col
 }
 
 // orderByText renders the ORDER BY list ("sal DESC, name").
@@ -977,10 +1243,28 @@ func (q *Query) Explain() (string, error) {
 		}
 		lines = append(lines, note)
 	}
-	if q.join != nil {
+	if len(q.joins) >= 2 {
+		// Multi-join: run the order enumerator on catalog estimates (the
+		// from-table cardinality is an upper bound once predicates filter
+		// it) and report the forecast order and per-step cardinalities.
+		g := q.joinGraph(outerEst, false)
+		res, err := q.chooseOrder(g)
+		if err != nil {
+			return "", err
+		}
+		note := fmt.Sprintf("join order: %s (%s)", q.orderText(res.Order), res.Algorithm)
+		if !outerExact {
+			note += fmt.Sprintf(" (driver estimated ≤ %d rows)", outerEst)
+		}
+		lines = append(lines, note)
+		for k := 1; k < len(res.Order); k++ {
+			lines = append(lines, fmt.Sprintf("join ⋈ %s: pipelined hash (forecast %s rows)",
+				q.rels[res.Order[k]].name, obs.FmtCount(res.EstRows[k])))
+		}
+	} else if len(q.joins) == 1 {
 		jp := q.joinPlanning(outerExact)
-		choice := jp.choose(outerEst, q.join.table.Cardinality())
-		note := fmt.Sprintf("join %s ⋈ %s: %s", t.Name(), q.join.table.Name(), choice)
+		choice := jp.choose(outerEst, q.rels[1].t.Cardinality())
+		note := fmt.Sprintf("join %s ⋈ %s: %s", q.rels[0].name, q.rels[1].name, choice)
 		if !outerExact {
 			note += fmt.Sprintf(" (outer estimated ≤ %d rows; runtime may switch methods on the live size)", outerEst)
 		}
@@ -1227,14 +1511,15 @@ type joinPlanning struct {
 }
 
 func (q *Query) joinPlanning(fullOuter bool) joinPlanning {
-	j := q.join
+	j := q.joins[0]
+	jt := q.rels[1].t
 	var jp joinPlanning
 
 	// Precomputed: left column is a Ref FK into the join table and the
 	// right side is tuple identity.
 	if j.leftField >= 0 && j.rightCol == Self {
 		def := q.from.rel.Schema().Field(j.leftField)
-		jp.hasPre = def.Type == storage.Ref && def.ForeignKey == j.table.Name()
+		jp.hasPre = def.Type == storage.Ref && def.ForeignKey == jt.Name()
 	}
 	if fullOuter && j.leftField >= 0 {
 		if ix := q.from.indexOn(j.leftField, true); ix != nil {
@@ -1242,11 +1527,11 @@ func (q *Query) joinPlanning(fullOuter bool) joinPlanning {
 		}
 	}
 	if j.rightField >= 0 {
-		if ix := j.table.indexOn(j.rightField, true); ix != nil {
+		if ix := jt.indexOn(j.rightField, true); ix != nil {
 			jp.innerOrdered = ix
 			jp.innerTT, _ = ix.ordered.(*ttree.Tree[*storage.Tuple])
 		}
-		jp.innerHash = j.table.indexOn(j.rightField, false)
+		jp.innerHash = jt.indexOn(j.rightField, false)
 	}
 	return jp
 }
@@ -1289,11 +1574,12 @@ type joinExec struct {
 // (exec.JoinSpec.Limit), and the inherently-sequential early exit keeps
 // the join off the parallel and radix upgrades.
 func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progress, limit int) joinExec {
-	j := q.join
+	j := q.joins[0]
+	jt := q.rels[1].t
 	outer := exec.ListColumn{List: left, Column: 0}
 	fullOuter := len(q.preds) == 0 // outer is the entire from-table
 	jp := q.joinPlanning(fullOuter)
-	innerCard := j.table.Cardinality()
+	innerCard := jt.Cardinality()
 
 	choice := jp.choose(outer.Len(), innerCard)
 	if q.forceJoin != nil {
@@ -1301,7 +1587,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 	}
 
 	spec := exec.JoinSpec{
-		OuterName: q.from.Name(), InnerName: j.table.Name(),
+		OuterName: q.rels[0].name, InnerName: q.rels[1].name,
 		OuterField: j.leftField, InnerField: j.rightField,
 		Meter: m, Prog: pg, Limit: limit,
 	}
@@ -1337,7 +1623,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 			out.buildEst = innerCard
 			out.list, out.radix = parallel.RadixHashJoin(
 				parallel.ListSource{List: left, Column: 0},
-				parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
+				parallel.RelationSource{Rel: jt.rel}, spec, bits, w)
 			out.innerScanned = innerCard // partition pass scans the inner relation
 		} else {
 			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 && limit <= 0 {
@@ -1345,9 +1631,9 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 				out.workers = w
 				out.list = parallel.HashJoin(
 					parallel.ListSource{List: left, Column: 0},
-					parallel.RelationSource{Rel: j.table.rel}, spec, w)
+					parallel.RelationSource{Rel: jt.rel}, spec, w)
 			} else {
-				out.list = exec.HashJoin(outer, j.table.scanSource(), spec)
+				out.list = exec.HashJoin(outer, jt.scanSource(), spec)
 			}
 			out.innerScanned = innerCard // build pass scans the inner relation
 		}
@@ -1361,7 +1647,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 		out.buildEst = innerCard
 		out.list, out.radix = parallel.RadixHashJoin(
 			parallel.ListSource{List: left, Column: 0},
-			parallel.RelationSource{Rel: j.table.rel}, spec, bits, w)
+			parallel.RelationSource{Rel: jt.rel}, spec, bits, w)
 		out.innerScanned = innerCard
 	case plan.JoinSortMerge:
 		// Resolve the sort substrate for the array builds; the larger
@@ -1377,16 +1663,310 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 			out.workers = w
 			out.list = parallel.SortMergeJoin(
 				parallel.ListSource{List: left, Column: 0},
-				parallel.RelationSource{Rel: j.table.rel}, spec, w)
+				parallel.RelationSource{Rel: jt.rel}, spec, w)
 		} else {
-			out.list = exec.SortMergeJoin(outer, j.table.scanSource(), spec)
+			out.list = exec.SortMergeJoin(outer, jt.scanSource(), spec)
 		}
 		out.innerScanned = innerCard // build pass scans the inner relation
 	default:
-		out.list = exec.NestedLoopsJoin(outer, j.table.scanSource(), spec)
+		out.list = exec.NestedLoopsJoin(outer, jt.scanSource(), spec)
 		out.innerScanned = outer.Len() * innerCard
 	}
 	return out
+}
+
+// joinGraph builds the planning view of the query's join graph:
+// per-relation cardinalities (the filtered from-table enters with
+// rel0Rows) and per-edge distinct-value estimates from the sampled
+// table statistics. locked means the caller already holds shared locks
+// on every relation (execute does) and may refresh stats; Explain runs
+// lock-free and only reads cached snapshots.
+func (q *Query) joinGraph(rel0Rows int, locked bool) plan.JoinGraph {
+	g := plan.JoinGraph{Rels: make([]plan.JoinGraphRel, len(q.rels))}
+	rows := make([]int, len(q.rels))
+	for i, r := range q.rels {
+		rows[i] = r.t.Cardinality()
+		if i == 0 {
+			rows[i] = rel0Rows
+		}
+		g.Rels[i] = plan.JoinGraphRel{Name: r.name, Rows: rows[i]}
+	}
+	ndv := func(rel, field int) float64 {
+		if field == tupleindex.SelfField {
+			return float64(rows[rel]) // tuple identity: one distinct value per row
+		}
+		var vals []float64
+		if locked {
+			vals = q.rels[rel].t.rel.Stats().NDV
+		} else if st, ok := q.rels[rel].t.rel.CachedStats(); ok {
+			// Explain runs lock-free: use whatever snapshot exists rather
+			// than refreshing (which would scan under a table lock).
+			vals = st.NDV
+		}
+		if field >= len(vals) {
+			return 0 // unknown: the model assumes unique keys
+		}
+		if d := vals[field]; d <= float64(rows[rel]) {
+			return d
+		}
+		// A filtered from-table cannot carry more distinct values than rows.
+		return float64(rows[rel])
+	}
+	for _, j := range q.joins {
+		g.Edges = append(g.Edges, plan.JoinGraphEdge{
+			A: j.leftRel, B: j.rightRel,
+			NDVA: ndv(j.leftRel, j.leftField),
+			NDVB: ndv(j.rightRel, j.rightField),
+		})
+	}
+	return g
+}
+
+// chooseOrder resolves the execution order for a multi-join under the
+// effective JoinOrderStrategy, pricing whatever order wins with the
+// plan package's cost model so forecast cardinalities are always
+// available for the audit.
+func (q *Query) chooseOrder(g plan.JoinGraph) (plan.JoinOrderResult, error) {
+	cfg := q.db.opts.Radix
+	switch q.joinOrderStrategy() {
+	case JoinOrderLeftDeep:
+		order := make([]int, len(q.rels))
+		for i := range order {
+			order[i] = i
+		}
+		res := plan.ForecastOrder(g, cfg, order)
+		res.Algorithm = "leftdeep"
+		return res, nil
+	case JoinOrderForced:
+		order, err := q.forcedOrder()
+		if err != nil {
+			return plan.JoinOrderResult{}, err
+		}
+		res := plan.ForecastOrder(g, cfg, order)
+		res.Algorithm = "forced"
+		return res, nil
+	default:
+		return plan.ChooseJoinOrder(g, cfg), nil
+	}
+}
+
+// forcedOrder validates ForceJoinOrder's names: every relation exactly
+// once, and each one after the driver connected by a join edge to the
+// ones before it (the pipeline cannot execute cross products).
+func (q *Query) forcedOrder() ([]int, error) {
+	if len(q.forced) == 0 {
+		return nil, fmt.Errorf("mmdb: JoinOrderForced requires ForceJoinOrder")
+	}
+	if len(q.forced) != len(q.rels) {
+		return nil, fmt.Errorf("mmdb: ForceJoinOrder must name all %d relations exactly once (got %d)",
+			len(q.rels), len(q.forced))
+	}
+	order := make([]int, 0, len(q.forced))
+	used := make([]bool, len(q.rels))
+	for _, name := range q.forced {
+		idx := -1
+		for i, r := range q.rels {
+			if r.name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("mmdb: ForceJoinOrder: no relation %q in scope", name)
+		}
+		if used[idx] {
+			return nil, fmt.Errorf("mmdb: ForceJoinOrder names %q twice", name)
+		}
+		used[idx] = true
+		order = append(order, idx)
+	}
+	var mask uint32 = 1 << uint(order[0])
+	for _, r := range order[1:] {
+		connected := false
+		for _, j := range q.joins {
+			if (j.leftRel == r && mask&(1<<uint(j.rightRel)) != 0) ||
+				(j.rightRel == r && mask&(1<<uint(j.leftRel)) != 0) {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			return nil, fmt.Errorf("mmdb: ForceJoinOrder: %s does not join any earlier relation (cross product)",
+				q.rels[r].name)
+		}
+		mask |= 1 << uint(r)
+	}
+	return order, nil
+}
+
+// orderText renders a join order by scope names: "fact ⋈ d1 ⋈ d2".
+func (q *Query) orderText(order []int) string {
+	names := make([]string, len(order))
+	for i, r := range order {
+		names[i] = q.rels[r].name
+	}
+	return strings.Join(names, " ⋈ ")
+}
+
+// multiJoinExec is the outcome of the pipelined multi-join phase plus
+// the numbers the observability layer reports.
+type multiJoinExec struct {
+	list       *storage.TempList
+	order      []int     // chosen execution order (relation indices, driver first)
+	orderText  string    // the order by scope names
+	algorithm  string    // "dp", "greedy", "leftdeep", "forced", "as-written"
+	estRows    []float64 // forecast cardinality after each prefix (estRows[0] = driver)
+	stageRows  []int64   // actual rows each stage emitted
+	methods    []string  // per-stage probe method
+	workers    int       // pipeline workers (1 = serial)
+	driverRows int       // rows streamed from the driver relation
+	scanned    int64     // build-side tuples scanned into stage tables
+	planNotes  []string
+}
+
+// runMultiJoin executes an n-way join (n >= 3): choose the execution
+// order by cost forecast, build one hash table per non-driver relation
+// (reusing an existing hash index when the run is serial — shared index
+// structures meter their probes, which would race across workers), and
+// stream the driver through the stage pipeline. Nothing between stages
+// materializes; only the final rows land in the output list. left is
+// the filtered from-table — it becomes the driver stream when the
+// planner puts it first, a build side otherwise.
+func (q *Query) runMultiJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progress, limit int) (multiJoinExec, error) {
+	g := q.joinGraph(left.Len(), true)
+	res, err := q.chooseOrder(g)
+	if err != nil {
+		return multiJoinExec{}, err
+	}
+	order := res.Order
+	n := len(q.rels)
+	out := multiJoinExec{
+		order: order, estRows: res.EstRows, algorithm: res.Algorithm,
+		orderText: q.orderText(order),
+	}
+	out.planNotes = append(out.planNotes,
+		fmt.Sprintf("join order: %s (%s)", out.orderText, res.Algorithm))
+
+	// The driver streams; it is the one relation never built. Only the
+	// from-table carries predicates, so every other driver is its raw
+	// relation.
+	driverRel := order[0]
+	var driver parallel.Chunked
+	if driverRel == 0 {
+		driver = parallel.ListSource{List: left, Column: 0}
+		out.driverRows = left.Len()
+	} else {
+		driver = parallel.RelationSource{Rel: q.rels[driverRel].t.rel}
+		out.driverRows = q.rels[driverRel].t.Cardinality()
+	}
+
+	// Worker choice happens before the build phase: a serial run may
+	// probe existing hash indices in place, a parallel one shares the
+	// stage tables across workers and needs meterless builds.
+	work := out.driverRows
+	for _, r := range order[1:] {
+		work += q.rels[r].t.Cardinality()
+	}
+	workers := plan.ChooseWorkers(q.parallelism(), work)
+	if limit > 0 {
+		workers = 1 // the early exit does not decompose
+	}
+	out.workers = workers
+
+	names := make([]string, n)
+	for i, r := range q.rels {
+		names[i] = r.name
+	}
+	stages := make([]exec.StageSpec, 0, n-1)
+	bound := make([]bool, n)
+	bound[driverRel] = true
+	for k := 1; k < n; k++ {
+		r := order[k]
+		st := exec.StageSpec{BuildSlot: r, ProbeSlot: -1}
+		buildField := 0
+		for _, j := range q.joins {
+			var probeRel, probeField, bf int
+			switch {
+			case j.rightRel == r && bound[j.leftRel]:
+				probeRel, probeField, bf = j.leftRel, j.leftField, j.rightField
+			case j.leftRel == r && bound[j.rightRel]:
+				probeRel, probeField, bf = j.rightRel, j.rightField, j.leftField
+			default:
+				continue
+			}
+			if st.ProbeSlot < 0 {
+				st.ProbeSlot, st.ProbeField = probeRel, probeField
+				buildField = bf
+			} else {
+				// A closing edge of a cyclic graph: both sides are bound
+				// once this stage matches, so it checks as a residual.
+				st.Residual = append(st.Residual, exec.ResidualEdge{
+					ASlot: probeRel, AField: probeField, BSlot: r, BField: bf,
+				})
+			}
+		}
+		if st.ProbeSlot < 0 {
+			return multiJoinExec{}, fmt.Errorf("mmdb: join order %s leaves %s unconnected (cross product)",
+				out.orderText, q.rels[r].name)
+		}
+		rt := q.rels[r].t
+		filtered := r == 0 && len(q.preds) > 0 // build side is the filtered from-table
+		method := ""
+		if buildField == tupleindex.SelfField && !filtered && q.refInto(st.ProbeSlot, st.ProbeField, rt) {
+			// Precomputed pointer join (§2.1): the probe column is a Ref
+			// into this relation, so the stage dereferences instead of
+			// probing a table.
+			st.Deref = true
+			method = "pointer deref"
+		} else {
+			st.BuildField = buildField
+			var src exec.Source = rt.scanSource()
+			if filtered {
+				src = exec.ListColumn{List: left, Column: 0}
+			}
+			if ix := rt.indexOn(buildField, false); ix != nil && !filtered && workers <= 1 {
+				st.Table = ix.hashed
+				method = "hash probe (" + ix.kind.String() + " index)"
+			} else {
+				st.Table = exec.BuildStageTable(src, buildField, 0, m)
+				out.scanned += int64(src.Len())
+				method = "hash probe (built table)"
+			}
+		}
+		out.methods = append(out.methods, method)
+		out.planNotes = append(out.planNotes,
+			fmt.Sprintf("join ⋈ %s: %s (forecast %s rows)", q.rels[r].name, method, obs.FmtCount(res.EstRows[k])))
+		stages = append(stages, st)
+		bound[r] = true
+	}
+
+	spec := exec.PipelineSpec{
+		Slots:      n,
+		DriverSlot: driverRel,
+		Stages:     stages,
+		BatchRows:  plan.ChooseBatchSize(q.db.opts.BatchSize, out.driverRows),
+		Limit:      limit,
+		Meter:      m,
+		Prog:       pg,
+	}
+	hint := int(res.EstRows[n-1])
+	if hint < 0 || res.EstRows[n-1] > 1<<30 {
+		hint = 0
+	}
+	list, stageRows, _ := parallel.RunPipeline(driver, spec, storage.Descriptor{Sources: names}, hint, workers)
+	out.list = list
+	out.stageRows = stageRows
+	return out, nil
+}
+
+// refInto reports whether the probe column is a Ref foreign key into
+// table rt — the precondition for the pointer-dereference stage.
+func (q *Query) refInto(probeRel, probeField int, rt *Table) bool {
+	if probeField < 0 {
+		return false
+	}
+	def := q.rels[probeRel].t.rel.Schema().Field(probeField)
+	return def.Type == storage.Ref && def.ForeignKey == rt.Name()
 }
 
 // project rewrites the temp list's descriptor to the selected columns.
@@ -1394,14 +1974,11 @@ func (q *Query) project(list *storage.TempList) (*storage.TempList, error) {
 	desc := list.Descriptor()
 	var cols []storage.ColRef
 	if len(q.cols) == 0 {
-		// All columns of all sources.
-		tables := []*Table{q.from}
-		if q.join != nil {
-			tables = append(tables, q.join.table)
-		}
-		for si, t := range tables {
-			for fi, f := range t.Schema() {
-				cols = append(cols, storage.ColRef{Source: si, Field: fi, Name: t.Name() + "." + f.Name})
+		// All columns of all relations, qualified by scope name (the
+		// alias where one was given) so self-joined uses stay distinct.
+		for si, r := range q.rels {
+			for fi, f := range r.t.Schema() {
+				cols = append(cols, storage.ColRef{Source: si, Field: fi, Name: r.name + "." + f.Name})
 			}
 		}
 	} else {
@@ -1421,23 +1998,21 @@ func (q *Query) project(list *storage.TempList) (*storage.TempList, error) {
 	return out, nil
 }
 
+// resolveColumn maps "col" or "name.col" (name = a scope name: the
+// alias where one was given, else the table name) to a column reference
+// over the query's relations. An unqualified column resolves against
+// the relations in declaration order, first match wins.
 func (q *Query) resolveColumn(name string) (storage.ColRef, error) {
 	table, col := "", name
 	if i := strings.IndexByte(name, '.'); i >= 0 {
 		table, col = name[:i], name[i+1:]
 	}
-	candidates := []*Table{q.from}
-	sources := []int{0}
-	if q.join != nil {
-		candidates = append(candidates, q.join.table)
-		sources = append(sources, 1)
-	}
-	for i, t := range candidates {
-		if table != "" && t.Name() != table {
+	for si, r := range q.rels {
+		if table != "" && r.name != table {
 			continue
 		}
-		if f := t.ColumnIndex(col); f >= 0 {
-			return storage.ColRef{Source: sources[i], Field: f, Name: name}, nil
+		if f := r.t.ColumnIndex(col); f >= 0 {
+			return storage.ColRef{Source: si, Field: f, Name: name}, nil
 		}
 	}
 	return storage.ColRef{}, fmt.Errorf("mmdb: cannot resolve column %q", name)

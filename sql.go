@@ -219,8 +219,11 @@ func sqlOp(op string) (Op, error) {
 
 // buildQuery assembles the fluent query for a parsed SELECT (or the
 // selection part of UPDATE/DELETE).
-func (db *Database) buildQuery(from string, where []sqlparser.Cond, join *sqlparser.Join, cols []string, distinct bool) (*Query, error) {
+func (db *Database) buildQuery(from, fromAlias string, where []sqlparser.Cond, joins []sqlparser.Join, cols []string, distinct bool) (*Query, error) {
 	q := db.Query(from)
+	if fromAlias != "" {
+		q = q.As(fromAlias)
+	}
 	for _, c := range where {
 		op, err := sqlOp(c.Op)
 		if err != nil {
@@ -232,15 +235,19 @@ func (db *Database) buildQuery(from string, where []sqlparser.Cond, join *sqlpar
 		}
 		q = q.Where(c.Column, op, v)
 	}
-	if join != nil {
-		lc, rc := join.LeftCol, join.RightCol
-		if lc == "" {
-			lc = Self
+	for _, j := range joins {
+		// The parser records SELF as an empty column; the fluent API
+		// spells it Self. The left side arrives qualified by the scope
+		// name the ON clause used, so aliases resolve.
+		lc := j.LeftTable + "." + j.LeftCol
+		if j.LeftCol == "" {
+			lc = j.LeftTable + "." + Self
 		}
+		rc := j.RightCol
 		if rc == "" {
 			rc = Self
 		}
-		q = q.Join(join.Table, lc, rc)
+		q = q.JoinAs(j.Table, j.Alias, lc, rc)
 	}
 	if len(cols) > 0 {
 		q = q.Select(cols...)
@@ -334,7 +341,7 @@ func applySelectShape(q *Query, s *sqlparser.Select) (*Query, error) {
 }
 
 func (db *Database) execSelect(s *sqlparser.Select) (*ExecResult, error) {
-	q, err := db.buildQuery(s.From, s.Where, s.Join, s.Cols, s.Distinct)
+	q, err := db.buildQuery(s.From, s.FromAlias, s.Where, s.Joins, s.Cols, s.Distinct)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +381,7 @@ func (db *Database) execUpdate(s *sqlparser.Update) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	q, err := db.buildQuery(s.Table, s.Where, nil, nil, false)
+	q, err := db.buildQuery(s.Table, "", s.Where, nil, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +411,7 @@ func (db *Database) execDelete(s *sqlparser.Delete) (*ExecResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no table %q", s.Table)
 	}
-	q, err := db.buildQuery(s.Table, s.Where, nil, nil, false)
+	q, err := db.buildQuery(s.Table, "", s.Where, nil, nil, false)
 	if err != nil {
 		return nil, err
 	}

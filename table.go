@@ -31,6 +31,23 @@ func (t *Table) Schema() []Field { return t.rel.Schema().Fields() }
 // ColumnIndex returns the position of the named column, or -1.
 func (t *Table) ColumnIndex(name string) int { return t.rel.Schema().FieldIndex(name) }
 
+// Stats returns the table's sampled statistics — row count plus
+// per-column distinct-value estimates. The snapshot refreshes lazily:
+// it is reused until enough DML lands to plausibly move it (10% of the
+// rows, floored at a few hundred writes). A refresh scans under a
+// shared table lock, but never blocks behind a writer: when the lock
+// is not immediately grantable, the previous snapshot is returned
+// as-is (stale statistics beat a stalled metrics endpoint).
+func (t *Table) Stats() (TableStat, error) {
+	tx := &Txn{db: t.db, inner: t.db.txns.BeginUntracked()}
+	defer tx.Abort()
+	if !tx.inner.TryLockRelationShared(t.rel) {
+		st, _ := t.rel.CachedStats()
+		return TableStat(st), nil
+	}
+	return TableStat(t.rel.Stats()), nil
+}
+
 // Index is a named index over one column of a table.
 type Index struct {
 	name    string
