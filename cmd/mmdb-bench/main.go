@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	_ "repro/internal/concbench"      // registers the concurrent-query throughput experiment
 	_ "repro/internal/joinorderbench" // registers the join-ordering experiment
 	_ "repro/internal/obsbench"       // registers the telemetry-overhead experiment
 )

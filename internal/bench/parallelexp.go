@@ -116,7 +116,7 @@ func ParallelJoinSweep(env Env) []Series {
 		w := w
 		var sl, dl *storage.TempList
 		scan := timeBest(func() { sl = parallel.SelectScan(src, pred, selSpec, w) })
-		proj := timeBest(func() { dl = parallel.ProjectHash(list, nil, nil, w) })
+		proj := timeBest(func() { dl = parallel.ProjectHash(nil, list, nil, nil, w) })
 		if w == 1 {
 			scanRows, distinctRows = sl.Len(), dl.Len()
 		} else if sl.Len() != scanRows || dl.Len() != distinctRows {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 
@@ -51,6 +52,9 @@ type JoinSpec struct {
 	// in this package ignore it). Nil is the disabled state; every
 	// Progress method tolerates it.
 	Prog *obs.Progress
+	// Sched is the query's admission handle on the shared morsel
+	// scheduler (see SelectSpec.Sched). The serial operators ignore it.
+	Sched *sched.Query
 }
 
 // emitter materializes (or merely counts) join result rows.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -73,6 +74,9 @@ type PipelineSpec struct {
 	Meter *meter.Counters
 	// Prog, when non-nil, receives rows-processed progress per fed batch.
 	Prog *obs.Progress
+	// Sched is the query's admission handle on the shared morsel
+	// scheduler (see SelectSpec.Sched). The serial pipeline ignores it.
+	Sched *sched.Query
 }
 
 // pipeStage is a StageSpec plus its runtime state: the hoisted probe

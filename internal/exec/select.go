@@ -4,6 +4,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -30,6 +31,11 @@ type SelectSpec struct {
 	// in this package ignore it). Nil is the disabled state; every
 	// Progress method tolerates it.
 	Prog *obs.Progress
+	// Sched is the query's admission handle on the shared morsel
+	// scheduler. The parallel executor submits its morsels through it;
+	// nil (or a handle without a pool) selects per-run worker
+	// goroutines. The serial operators ignore it.
+	Sched *sched.Query
 }
 
 func (s SelectSpec) newList() *storage.TempList {

@@ -22,6 +22,11 @@ type Progress struct {
 	busyWorkers   atomic.Int32
 	peakWorkers   atomic.Int32
 	maxWorkerRows atomic.Int64
+	// Scheduler costs folded per operator run: morsels of this query
+	// stolen across pool workers, and admission latency waiting for a
+	// first worker.
+	schedSteals    atomic.Int64
+	schedWaitNanos atomic.Int64
 }
 
 // Label returns the query's pprof label value ("q<id>"). Safe on a nil
@@ -106,6 +111,38 @@ func (p *Progress) MaxWorkerRows() int64 {
 	return p.maxWorkerRows.Load()
 }
 
+// AddSched folds one operator run's scheduler costs — stolen morsels
+// and admission wait — into the query's gauges. Safe on a nil receiver.
+func (p *Progress) AddSched(steals int64, wait time.Duration) {
+	if p == nil {
+		return
+	}
+	if steals != 0 {
+		p.schedSteals.Add(steals)
+	}
+	if wait != 0 {
+		p.schedWaitNanos.Add(int64(wait))
+	}
+}
+
+// SchedSteals returns the query's stolen-morsel total. Safe on a nil
+// receiver.
+func (p *Progress) SchedSteals() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.schedSteals.Load()
+}
+
+// SchedWait returns the query's accumulated admission latency. Safe on
+// a nil receiver.
+func (p *Progress) SchedWait() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.schedWaitNanos.Load())
+}
+
 // Query phases for ActiveQuery.SetPhase, in pipeline order.
 const (
 	PhasePlan int32 = iota
@@ -168,6 +205,8 @@ type ActiveQueryInfo struct {
 	BusyWorkers   int           `json:"busy_workers"`
 	PeakWorkers   int           `json:"peak_workers"`
 	MaxWorkerRows int64         `json:"max_worker_rows"`
+	SchedSteals   int64         `json:"sched_steals,omitempty"`
+	SchedWait     time.Duration `json:"sched_wait_nanos,omitempty"`
 }
 
 // ActiveSet is the live query registry: every executing query registers
@@ -210,6 +249,8 @@ func (s *ActiveSet) Register(text string) *ActiveQuery {
 	q.prog.busyWorkers.Store(0)
 	q.prog.peakWorkers.Store(0)
 	q.prog.maxWorkerRows.Store(0)
+	q.prog.schedSteals.Store(0)
+	q.prog.schedWaitNanos.Store(0)
 	s.m[q.id] = q
 	s.mu.Unlock()
 	return q
@@ -247,6 +288,8 @@ func (s *ActiveSet) Snapshot() []ActiveQueryInfo {
 			BusyWorkers:   q.prog.BusyWorkers(),
 			PeakWorkers:   q.prog.PeakWorkers(),
 			MaxWorkerRows: q.prog.MaxWorkerRows(),
+			SchedSteals:   q.prog.SchedSteals(),
+			SchedWait:     q.prog.SchedWait(),
 		})
 	}
 	s.mu.Unlock()

@@ -52,9 +52,14 @@ func FormatActive(qs []ActiveQueryInfo) string {
 	}
 	var b strings.Builder
 	for _, q := range qs {
-		fmt.Fprintf(&b, "q%-4d %-9s elapsed=%-10s rows=%-10d workers=%d/%d peak  %s\n",
+		fmt.Fprintf(&b, "q%-4d %-9s elapsed=%-10s rows=%-10d workers=%d/%d peak",
 			q.ID, q.Phase, q.Elapsed.Round(time.Millisecond), q.Rows,
-			q.BusyWorkers, q.PeakWorkers, q.Text)
+			q.BusyWorkers, q.PeakWorkers)
+		if q.SchedSteals > 0 || q.SchedWait > 0 {
+			fmt.Fprintf(&b, "  sched steals=%d waited=%s",
+				q.SchedSteals, q.SchedWait.Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "  %s\n", q.Text)
 	}
 	return b.String()
 }
@@ -67,8 +72,12 @@ func FormatSlow(qs []SlowQuery) string {
 	}
 	var b strings.Builder
 	for _, q := range qs {
-		fmt.Fprintf(&b, "q%-4d wall=%-10s rows=%-10d %s\n",
-			q.ID, q.Wall.Round(time.Microsecond), q.Rows, q.Text)
+		fmt.Fprintf(&b, "q%-4d wall=%-10s rows=%-10d", q.ID, q.Wall.Round(time.Microsecond), q.Rows)
+		if q.SchedSteals > 0 || q.SchedWait > 0 {
+			fmt.Fprintf(&b, " sched steals=%d waited=%s",
+				q.SchedSteals, q.SchedWait.Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, " %s\n", q.Text)
 		if q.Trace != nil {
 			for _, line := range strings.Split(q.Trace.Format(), "\n") {
 				b.WriteString("  ")

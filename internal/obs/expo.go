@@ -42,6 +42,10 @@ type Snapshot struct {
 	PlanMispredicts map[string]int64       `json:"plan_mispredicts,omitempty"`
 	RadixSkew       FloatHistogramSnapshot `json:"radix_skew"`
 
+	// Sched is the morsel scheduler's saturation snapshot, present when
+	// the database runs on a work-stealing pool (SetSchedSource wired).
+	Sched *SchedStats `json:"sched,omitempty"`
+
 	// Tables carries the per-relation statistics snapshots the join-order
 	// planner runs on. The registry itself does not track these — the
 	// engine's Database.Stats() fills them in from storage, so they are
@@ -66,7 +70,13 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	var sched *SchedStats
+	if r.schedSource != nil {
+		s := r.schedSource()
+		sched = &s
+	}
 	return Snapshot{
+		Sched:         sched,
 		Queries:       r.queries.Load(),
 		QueriesByPlan: r.planShapes.snapshot(),
 		RowsScanned:   r.rowsScanned.Load(),
@@ -106,6 +116,10 @@ func (s Snapshot) String() string {
 	if s.RadixSkew.Count > 0 {
 		fmt.Fprintf(&b, "radix skew        n=%d mean=%.2f max=%.2f\n",
 			s.RadixSkew.Count, s.RadixSkew.Mean(), s.RadixSkew.Max)
+	}
+	if s.Sched != nil {
+		fmt.Fprintf(&b, "scheduler         workers=%d queue=%d busy=%d steals=%d parks=%d\n",
+			s.Sched.Workers, s.Sched.QueueDepth, s.Sched.Busy, s.Sched.Steals, s.Sched.Parks)
 	}
 	fmt.Fprintf(&b, "transactions      begin=%d commit=%d abort=%d\n", s.TxnBegins, s.TxnCommits, s.TxnAborts)
 	fmt.Fprintf(&b, "locks             waits=%d wait time=%s deadlocks=%d\n", s.LockWaits, s.LockWaitTime, s.Deadlocks)
@@ -208,6 +222,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	counter("mmdb_ops_batches_total", "Tuple-pointer batches handed between operators.", s.Ops.Batches)
 	counter("mmdb_ops_radix_passes_total", "Radix partitioning passes executed.", s.Ops.RadixPasses)
 	counter("mmdb_ops_partitions_total", "Radix partitions produced (fan-out total).", s.Ops.Partitions)
+
+	// Morsel-scheduler saturation, present only when the database runs on
+	// a work-stealing pool.
+	if s.Sched != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("mmdb_sched_workers", "Morsel-scheduler worker goroutines.", int64(s.Sched.Workers))
+		gauge("mmdb_sched_queue_depth", "Morsels accepted but not yet started.", s.Sched.QueueDepth)
+		gauge("mmdb_sched_busy_workers", "Workers executing a morsel right now.", s.Sched.Busy)
+		counter("mmdb_sched_steals_total", "Morsels executed by a worker other than the enqueuer.", s.Sched.Steals)
+		counter("mmdb_sched_park_total", "Times a scheduler worker went idle.", s.Sched.Parks)
+	}
 
 	// Histogram in cumulative Prometheus form.
 	h := s.QueryLatency

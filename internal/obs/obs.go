@@ -65,6 +65,33 @@ type Registry struct {
 
 	// §3.1 operation counters rolled up from internal/meter.
 	ops meter.SharedCounters
+
+	// schedSource, when non-nil, supplies the work-stealing morsel
+	// scheduler's saturation snapshot at exposition time. Wired once by
+	// Database.Open before the registry serves traffic; read without
+	// synchronization afterwards (the same contract as txn.Manager.Obs).
+	schedSource func() SchedStats
+}
+
+// SchedStats mirrors the morsel scheduler's point-in-time saturation
+// snapshot (internal/sched.Stats) as plain data, so obs carries no
+// scheduler dependency. Workers/QueueDepth/Busy are gauges; Steals and
+// Parks are monotonic counters.
+type SchedStats struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int64 `json:"queue_depth"`
+	Busy       int64 `json:"busy"`
+	Steals     int64 `json:"steals"`
+	Parks      int64 `json:"parks"`
+}
+
+// SetSchedSource wires the scheduler-stats hook (see schedSource). Safe
+// on a nil receiver.
+func (r *Registry) SetSchedSource(fn func() SchedStats) {
+	if r == nil {
+		return
+	}
+	r.schedSource = fn
 }
 
 // NewRegistry creates an enabled registry with the default query-latency

@@ -19,6 +19,13 @@ type SlowQuery struct {
 	Wall  time.Duration `json:"wall_nanos"`
 	Rows  int64         `json:"rows"`
 	Trace *QueryTrace   `json:"trace,omitempty"`
+
+	// Scheduler costs of this query: morsels executed by a worker other
+	// than the enqueuer, and time spent waiting for pool admission — the
+	// signal separating "slow plan" from "slow because the pool was
+	// saturated".
+	SchedSteals int64         `json:"sched_steals,omitempty"`
+	SchedWait   time.Duration `json:"sched_wait_nanos,omitempty"`
 }
 
 // SlowLog is a bounded ring buffer of the most recent queries whose wall

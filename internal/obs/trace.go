@@ -54,6 +54,12 @@ type QueryTrace struct {
 	// method), each comparing the estimate the choice rested on against
 	// the observed value.
 	Decisions []Decision
+
+	// Morsel-scheduler costs for the whole query: morsels executed by a
+	// worker other than the enqueuer, and time spent waiting for pool
+	// admission. Zero when the query ran off-pool.
+	SchedSteals int64
+	SchedWait   time.Duration
 }
 
 // TotalOps sums the §3.1 counters over the whole tree.
@@ -92,6 +98,9 @@ func (t *QueryTrace) Format() string {
 		fmt.Fprintf(&b, " (%s)", ops.String())
 	}
 	b.WriteByte('\n')
+	if t.SchedSteals > 0 || t.SchedWait > 0 {
+		fmt.Fprintf(&b, "sched: steals=%d waited=%s\n", t.SchedSteals, fmtDur(t.SchedWait))
+	}
 	for _, d := range t.Decisions {
 		b.WriteString("decision ")
 		b.WriteString(d.Line())

@@ -5,6 +5,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -23,14 +24,14 @@ import (
 // tables (each worker's chunk is 1/w of the input, so its table is
 // proportionally smaller — the same cache effect the radix plan buys
 // serially). The result aliases g's scratch, exactly like g.Run.
-func HashAgg(pg *obs.Progress, g *agg.Grouper, list *storage.TempList, groupCols []int, specs []agg.Spec, bits []uint, w int, m *meter.Counters) agg.Result {
+func HashAgg(sq *sched.Query, pg *obs.Progress, g *agg.Grouper, list *storage.TempList, groupCols []int, specs []agg.Spec, bits []uint, w int, m *meter.Counters) agg.Result {
 	n := list.Len()
 	if w <= 1 || n == 0 {
 		return g.Run(list, groupCols, specs, bits, m)
 	}
 	partials := make([]agg.Result, w)
 	workers := make([]*agg.Grouper, w)
-	folded := run(pg, "agg", w, w, func(chunk int, sc *scratch) {
+	folded := run(sq, pg, "agg", w, w, func(chunk int, sc *scratch) {
 		lo, hi := n*chunk/w, n*(chunk+1)/w
 		wg := agg.Get()
 		workers[chunk] = wg
@@ -56,13 +57,13 @@ func HashAgg(pg *obs.Progress, g *agg.Grouper, list *storage.TempList, groupCols
 // final heap. w <= 1 delegates to the serial operator; the output is
 // identical (the ordinal tie-break makes the order deterministic) either
 // way.
-func TopK(pg *obs.Progress, list *storage.TempList, keys []exec.OrderKey, k, w int, m *meter.Counters) []int32 {
+func TopK(sq *sched.Query, pg *obs.Progress, list *storage.TempList, keys []exec.OrderKey, k, w int, m *meter.Counters) []int32 {
 	n := list.Len()
 	if w <= 1 || n == 0 || k <= 0 {
 		return exec.TopKRows(list, keys, k, m)
 	}
 	cands := make([][]int32, w)
-	folded := run(pg, "topk", w, w, func(chunk int, sc *scratch) {
+	folded := run(sq, pg, "topk", w, w, func(chunk int, sc *scratch) {
 		lo, hi := n*chunk/w, n*(chunk+1)/w
 		cands[chunk] = exec.TopKRowsRange(list, keys, k, lo, hi, &sc.ctr)
 		sc.rows += int64(hi - lo)

@@ -75,7 +75,7 @@ func TestParallelHashAggMatchesSerial(t *testing.T) {
 	for _, w := range []int{1, 2, 4, 8} {
 		var pm meter.Counters
 		pg := agg.Get()
-		got := canonicalAgg(list, specs, HashAgg(nil, pg, list, gcols, specs, nil, w, &pm))
+		got := canonicalAgg(list, specs, HashAgg(nil, nil, pg, list, gcols, specs, nil, w, &pm))
 		agg.Put(pg)
 		if len(got) != len(want) {
 			t.Fatalf("w=%d: %d groups, want %d", w, len(got), len(want))
@@ -102,7 +102,7 @@ func TestParallelTopKMatchesSerial(t *testing.T) {
 		want := exec.TopKRows(list, keys, k, &sm)
 		for _, w := range []int{1, 2, 4, 8} {
 			var pm meter.Counters
-			got := TopK(nil, list, keys, k, w, &pm)
+			got := TopK(nil, nil, list, keys, k, w, &pm)
 			if len(got) != len(want) {
 				t.Fatalf("w=%d k=%d: %d rows, want %d", w, k, len(got), len(want))
 			}

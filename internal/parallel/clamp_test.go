@@ -1,0 +1,44 @@
+package parallel
+
+import "testing"
+
+// TestClampDegree exercises the compat-mode degree clamp: with the
+// shared pool disabled, N concurrent queries divide their resolved
+// degree by N instead of oversubscribing the machine N times over.
+func TestClampDegree(t *testing.T) {
+	if got := ClampDegree(8); got != 8 {
+		t.Fatalf("idle clamp: ClampDegree(8) = %d, want 8", got)
+	}
+
+	rel1 := EnterQuery()
+	if got := ClampDegree(8); got != 8 {
+		t.Fatalf("single query must be unaffected: got %d, want 8", got)
+	}
+
+	rel2 := EnterQuery()
+	if got := ClampDegree(8); got != 4 {
+		t.Fatalf("two queries: ClampDegree(8) = %d, want 4", got)
+	}
+	if got := ClampDegree(1); got != 1 {
+		t.Fatalf("serial stays serial: got %d, want 1", got)
+	}
+
+	var rels []func()
+	for i := 0; i < 14; i++ {
+		rels = append(rels, EnterQuery())
+	}
+	if got := ClampDegree(8); got != 1 {
+		t.Fatalf("16 queries floor at 1: got %d", got)
+	}
+	for _, r := range rels {
+		r()
+	}
+	rel2()
+	if got := ClampDegree(8); got != 8 {
+		t.Fatalf("after release, single query clamps nothing: got %d", got)
+	}
+	rel1()
+	if got := ClampDegree(8); got != 8 {
+		t.Fatalf("after all releases: got %d, want 8", got)
+	}
+}

@@ -41,7 +41,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	// buckets. buckets[chunk][part] is written by exactly one worker.
 	innerChunks := innerC.Chunks(w)
 	buckets := make([][][]*storage.Tuple, len(innerChunks))
-	spec.Meter.Add(run(spec.Prog, "hash join", w, len(innerChunks), func(m int, sc *scratch) {
+	spec.Meter.Add(run(spec.Sched, spec.Prog, "hash join", w, len(innerChunks), func(m int, sc *scratch) {
 		local := make([][]*storage.Tuple, nparts)
 		exec.ScanBatches(innerChunks[m], sc.buf, func(block storage.TupleBatch) bool {
 			sc.ctr.AddHash(int64(len(block)))
@@ -63,7 +63,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	// detached afterwards: the tables are shared read-only during probing
 	// and a live private counter would be a data race.
 	tables := make([]*chainhash.Table[*storage.Tuple], nparts)
-	spec.Meter.Add(run(spec.Prog, "hash join", w, nparts, func(p int, sc *scratch) {
+	spec.Meter.Add(run(spec.Sched, spec.Prog, "hash join", w, nparts, func(p int, sc *scratch) {
 		count := 0
 		for m := range buckets {
 			count += len(buckets[m][p])
@@ -90,7 +90,7 @@ func HashJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *storag
 	outerChunks := outerC.Chunks(w * morselsPerWorker)
 	results := make([]*storage.TempList, len(outerChunks))
 	counts := make([]int, len(outerChunks))
-	spec.Meter.Add(run(spec.Prog, "hash join", w, len(outerChunks), func(m int, sc *scratch) {
+	spec.Meter.Add(run(spec.Sched, spec.Prog, "hash join", w, len(outerChunks), func(m int, sc *scratch) {
 		local := storage.MustTempList(desc)
 		n := 0
 		matches := sc.keep

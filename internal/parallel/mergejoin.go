@@ -7,6 +7,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/sortutil"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
@@ -46,8 +47,8 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 	// Phase 1 — range-partition both sides in parallel. Each morsel
 	// classifies its tuples into private per-range buckets; worker r later
 	// concatenates the buckets of range r in morsel order.
-	outerBuckets := classifyRanges(to, fo, splitters, w, spec.Meter, spec.Prog)
-	innerBuckets := classifyRanges(ti, fi, splitters, w, spec.Meter, spec.Prog)
+	outerBuckets := classifyRanges(spec.Sched, to, fo, splitters, w, spec.Meter, spec.Prog)
+	innerBuckets := classifyRanges(spec.Sched, ti, fi, splitters, w, spec.Meter, spec.Prog)
 
 	// Phase 2 — per-range local sort + merge. Worker r owns key range r:
 	// it gathers the range's tuples, sorts both runs locally (the same
@@ -57,7 +58,7 @@ func SortMergeJoin(outer, inner exec.Source, spec exec.JoinSpec, workers int) *s
 	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
 	results := make([]*storage.TempList, nparts)
 	counts := make([]int, nparts)
-	spec.Meter.Add(run(spec.Prog, "sortmerge join", w, nparts, func(r int, sc *scratch) {
+	spec.Meter.Add(run(spec.Sched, spec.Prog, "sortmerge join", w, nparts, func(r int, sc *scratch) {
 		outerRun := gatherRange(outerBuckets, r)
 		innerRun := gatherRange(innerBuckets, r)
 		if len(outerRun) == 0 || len(innerRun) == 0 {
@@ -123,11 +124,11 @@ func sampleSplitters(tuples []*storage.Tuple, field, w int, m *meter.Counters) [
 // classifyRanges scatters tuples into per-morsel, per-range buckets:
 // range r holds the keys in [splitter[r-1], splitter[r]). The returned
 // buckets[morsel][range] slices are each written by exactly one worker.
-func classifyRanges(tuples []*storage.Tuple, field int, splitters []storage.Value, w int, m *meter.Counters, pg *obs.Progress) [][][]*storage.Tuple {
+func classifyRanges(sq *sched.Query, tuples []*storage.Tuple, field int, splitters []storage.Value, w int, m *meter.Counters, pg *obs.Progress) [][][]*storage.Tuple {
 	nparts := len(splitters) + 1
 	chunks := SliceSource(tuples).Chunks(w * morselsPerWorker)
 	buckets := make([][][]*storage.Tuple, len(chunks))
-	m.Add(run(pg, "sortmerge join", w, len(chunks), func(c int, sc *scratch) {
+	m.Add(run(sq, pg, "sortmerge join", w, len(chunks), func(c int, sc *scratch) {
 		local := make([][]*storage.Tuple, nparts)
 		exec.ScanBatches(chunks[c], sc.buf, func(block storage.TupleBatch) bool {
 			sc.ctr.AddBatch(1)

@@ -67,7 +67,7 @@ func RunPipeline(driver Chunked, spec exec.PipelineSpec, desc storage.Descriptor
 
 	parts := make([]*storage.TempList, len(chunks))
 	var emitted atomic.Int64
-	meterTotal := run(spec.Prog, "multijoin", workers, len(chunks), func(i int, sc *scratch) {
+	meterTotal := run(spec.Sched, spec.Prog, "multijoin", workers, len(chunks), func(i int, sc *scratch) {
 		p := <-free
 		var part *storage.TempList
 		if !spec.Discard {

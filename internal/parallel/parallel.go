@@ -42,6 +42,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -50,6 +51,37 @@ import (
 func Degree(n int) int {
 	if n <= 0 {
 		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// activeQueries counts queries currently executing with parallel
+// operators enabled. It only matters when the shared scheduler pool is
+// disabled (the compat per-query-goroutine mode): there, N concurrent
+// queries each spawning Degree(0)≈GOMAXPROCS workers oversubscribe the
+// machine N×, so the resolved degree is divided by this count instead.
+// With the pool enabled the pool itself bounds total workers and the
+// clamp is unnecessary.
+var activeQueries atomic.Int32
+
+// EnterQuery registers one active query for the compat-mode degree
+// clamp and returns its release. Callers pair the two around query
+// execution; the count is only consulted by ClampDegree.
+func EnterQuery() (release func()) {
+	activeQueries.Add(1)
+	return func() { activeQueries.Add(-1) }
+}
+
+// ClampDegree divides an already-resolved degree by the number of
+// currently active queries (itself included), floored at one — the
+// compat-mode fix for concurrent queries multiplying GOMAXPROCS. A
+// single active query is unaffected.
+func ClampDegree(n int) int {
+	if active := int(activeQueries.Load()); active > 1 && n > 1 {
+		n /= active
+		if n < 1 {
+			n = 1
+		}
 	}
 	return n
 }
@@ -72,6 +104,10 @@ type scratch struct {
 	// the query's live Progress after every morsel and zeroes it, so
 	// progress is visible at morsel granularity without an atomic per row.
 	rows int64
+	// wrows accumulates the flushed rows across the morsels this scratch
+	// served in one pooled run — the per-"worker" total the Progress
+	// max-rows gauge folds, with the scratch standing in for the worker.
+	wrows int64
 }
 
 var scratchPool = sync.Pool{
@@ -85,6 +121,7 @@ func getScratch() *scratch {
 	sc := scratchPool.Get().(*scratch)
 	sc.ctr.Reset()
 	sc.rows = 0
+	sc.wrows = 0
 	return sc
 }
 
@@ -101,13 +138,17 @@ func putScratch(sc *scratch) {
 	scratchPool.Put(sc)
 }
 
-// run executes n independent morsels on w workers pulled from a shared
-// atomic cursor. Each worker owns pooled private scratch — its
+// run executes n independent morsels at degree w. With a pooled sq the
+// morsels are submitted as one task set to the shared scheduler; without
+// one (nil handle, or the pool disabled) it falls back to per-run worker
+// goroutines pulling from a shared atomic cursor — the compat mode, and
+// the mode the parallel package's own unit tests exercise. Either way
+// each concurrent executor owns pooled private scratch — its
 // meter.Counters for §3.1 operation counts plus reusable tuple batches —
-// so per-worker setup does not allocate. When all workers finish, the
-// counters are folded through a SharedCounters and the total is returned.
-// fn must not touch state shared between morsels and must not retain sc's
-// batches past the morsel.
+// so per-worker setup does not allocate, and the counters are folded
+// through a SharedCounters into the returned total. fn must not touch
+// state shared between morsels and must not retain sc's batches past the
+// morsel.
 //
 // pg, when non-nil, is the owning query's live Progress: workers raise
 // its saturation gauges, flush sc.rows after every morsel, fold their
@@ -115,12 +156,19 @@ func putScratch(sc *scratch) {
 // labels (mmdb_query=<id>, mmdb_op=<op>) so CPU profiles attribute
 // worker time to queries. A nil pg skips all of it — the labels, the
 // gauges, and the context — so the disabled path stays allocation-free.
-func run(pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
+//
+// Cancellation is observed at morsel boundaries on both paths: a
+// cancelled sq stops the compat cursor loop, and the pool discards the
+// set's unclaimed morsels.
+func run(sq *sched.Query, pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
 	if n == 0 {
 		return meter.Counters{}
 	}
 	if w > n {
 		w = n
+	}
+	if sq.Pooled() {
+		return runPooled(sq, pg, op, w, n, fn)
 	}
 	var shared meter.SharedCounters
 	var cursor atomic.Int64
@@ -134,7 +182,7 @@ func run(pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)
 				var wrows int64
 				for {
 					m := int(cursor.Add(1)) - 1
-					if m >= n {
+					if m >= n || sq.Cancelled() {
 						break
 					}
 					fn(m, sc)
@@ -161,6 +209,69 @@ func run(pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)
 		}()
 	}
 	wg.Wait()
+	return shared.Snapshot()
+}
+
+// runPooled is run's shared-scheduler path: the n morsels become one
+// task set with claim limit w. Scratch is associated per concurrent
+// executor rather than per goroutine — a small free list capped at w,
+// created lazily, stands in for the compat path's per-worker scratch —
+// so counter folding, progress gauges, and warm-batch reuse all survive
+// the move off private goroutines. Work stealing can push instantaneous
+// concurrency slightly above w; the excess executor briefly blocks on
+// the free list, which is safe (every holder returns its scratch at
+// morsel end) and keeps the per-"worker" gauge semantics intact.
+func runPooled(sq *sched.Query, pg *obs.Progress, op string, w, n int, fn func(morsel int, sc *scratch)) meter.Counters {
+	var shared meter.SharedCounters
+	var mu sync.Mutex
+	scratches := make([]*scratch, 0, w)
+	free := make(chan *scratch, w)
+	var labels pprof.LabelSet
+	if pg != nil {
+		labels = pprof.Labels("mmdb_query", pg.Label(), "mmdb_op", op)
+	}
+	st := sq.Run(w, n, func(m int) {
+		var sc *scratch
+		select {
+		case sc = <-free:
+		default:
+			mu.Lock()
+			if len(scratches) < w {
+				sc = getScratch()
+				scratches = append(scratches, sc)
+				mu.Unlock()
+				pg.WorkerStart()
+			} else {
+				mu.Unlock()
+				sc = <-free
+			}
+		}
+		body := func() {
+			fn(m, sc)
+			if d := sc.rows; d != 0 {
+				sc.rows = 0
+				sc.wrows += d
+				pg.AddRows(d)
+			}
+		}
+		if pg != nil {
+			pprof.Do(context.Background(), labels, func(context.Context) { body() })
+		} else {
+			body()
+		}
+		free <- sc
+	})
+	// Every executed morsel returned its scratch before the set
+	// completed, so the free list holds exactly the scratches created.
+	for range scratches {
+		<-free
+	}
+	for _, sc := range scratches {
+		pg.WorkerDone(sc.wrows)
+		shared.Add(sc.ctr)
+		putScratch(sc)
+	}
+	pg.AddSched(st.Steals, st.Wait)
 	return shared.Snapshot()
 }
 

@@ -217,7 +217,7 @@ func TestParallelProjectHashIdenticalToSerial(t *testing.T) {
 
 		var sm, pm meter.Counters
 		serial := exec.ProjectHash(list, &sm)
-		par := ProjectHash(list, &pm, nil, 4)
+		par := ProjectHash(nil, list, &pm, nil, 4)
 		if par.Len() != serial.Len() {
 			t.Fatalf("dup=%v: parallel kept %d rows, serial %d", dupPct, par.Len(), serial.Len())
 		}
@@ -321,7 +321,7 @@ func TestParallelNilMeterAndEmptyInputs(t *testing.T) {
 	// Empty + nil meter projection.
 	l := storage.MustTempList(storage.Descriptor{Sources: []string{"f"},
 		Cols: []storage.ColRef{{Source: 0, Field: 0, Name: "val"}}})
-	if ProjectHash(l, nil, nil, 4).Len() != 0 {
+	if ProjectHash(nil, l, nil, nil, 4).Len() != 0 {
 		t.Fatal("projection of empty list not empty")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -28,7 +29,7 @@ type keyedRow struct {
 //
 // workers <= 1 or a list too small to chunk delegates to the serial
 // operator.
-func ProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int) *storage.TempList {
+func ProjectHash(sq *sched.Query, list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int) *storage.TempList {
 	w := Degree(workers)
 	if w <= 1 || list.Len() < 2 {
 		return exec.ProjectHash(list, m)
@@ -41,7 +42,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, wo
 	// ascending row-index order and concatenating buckets in worker order
 	// preserves it.
 	buckets := make([][][]keyedRow, w)
-	m.Add(run(pg, "distinct", w, w, func(widx int, sc *scratch) {
+	m.Add(run(sq, pg, "distinct", w, w, func(widx int, sc *scratch) {
 		lo, hi := n*widx/w, n*(widx+1)/w
 		sc.rows += int64(hi - lo)
 		local := make([][]keyedRow, nparts)
@@ -59,7 +60,7 @@ func ProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, wo
 	// rows (the serial §3.4 sizing), first occurrence wins. Rows arrive in
 	// ascending index order, so "first" matches the serial scan.
 	survivors := make([][]int, nparts)
-	m.Add(run(pg, "distinct", w, nparts, func(p int, sc *scratch) {
+	m.Add(run(sq, pg, "distinct", w, nparts, func(p int, sc *scratch) {
 		count := 0
 		for widx := range buckets {
 			count += len(buckets[widx][p])

@@ -176,7 +176,7 @@ func TestRadixProjectHashIdenticalToSerial(t *testing.T) {
 
 			var sm, pm meter.Counters
 			serial := exec.ProjectHash(list, &sm)
-			par, stats := RadixProjectHash(list, &pm, nil, 4, c.bits)
+			par, stats := RadixProjectHash(nil, list, &pm, nil, 4, c.bits)
 			if par.Len() != serial.Len() {
 				t.Fatalf("radix kept %d rows, serial %d", par.Len(), serial.Len())
 			}
@@ -207,7 +207,7 @@ func TestRadixProjectHashDegenerate(t *testing.T) {
 	})
 	rel.ScanPhysical(func(tp *storage.Tuple) bool { list.Append(storage.Row{tp}); return true })
 	var m meter.Counters
-	out, stats := RadixProjectHash(list, &m, nil, 4, []uint{4, 2})
+	out, stats := RadixProjectHash(nil, list, &m, nil, 4, []uint{4, 2})
 	if out.Len() != 1 {
 		t.Fatalf("all-equal distinct kept %d rows, want 1", out.Len())
 	}
@@ -219,7 +219,7 @@ func TestRadixProjectHashDegenerate(t *testing.T) {
 	}
 
 	emptyList := storage.MustTempList(storage.Descriptor{Sources: []string{"r"}, Cols: []storage.ColRef{{Source: 0, Field: 0, Name: "val"}}})
-	if res, _ := RadixProjectHash(emptyList, nil, nil, 4, []uint{4}); res.Len() != 0 {
+	if res, _ := RadixProjectHash(nil, emptyList, nil, nil, 4, []uint{4}); res.Len() != 0 {
 		t.Fatal("empty list distinct not empty")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/radix"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -46,8 +47,8 @@ func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, wo
 	// Phase 1 — hash both sides into entry arrays: one storage.Hash per
 	// tuple, reused by every later phase. Chunks are contiguous in source
 	// order, so each worker writes a disjoint range of the entry array.
-	ie := hashEntries(innerC, ni, spec.InnerField, spec.Meter, spec.Prog, w)
-	oe := hashEntries(outerC, no, spec.OuterField, spec.Meter, spec.Prog, w)
+	ie := hashEntries(spec.Sched, innerC, ni, spec.InnerField, spec.Meter, spec.Prog, w)
+	oe := hashEntries(spec.Sched, outerC, no, spec.OuterField, spec.Meter, spec.Prog, w)
 
 	// Phase 2 — radix-partition both sides with pooled kernel scratch.
 	// The two partitioners stay live until the probe phase finishes
@@ -67,7 +68,7 @@ func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, wo
 	results := make([]*storage.TempList, fanout)
 	counts := make([]int, fanout)
 	fi, fo := spec.InnerField, spec.OuterField
-	spec.Meter.Add(run(spec.Prog, "radix join", w, fanout, func(p int, sc *scratch) {
+	spec.Meter.Add(run(spec.Sched, spec.Prog, "radix join", w, fanout, func(p int, sc *scratch) {
 		blo, bhi := ioffs[p], ioffs[p+1]
 		plo, phi := ooffs[p], ooffs[p+1]
 		if blo == bhi || plo == phi {
@@ -137,14 +138,14 @@ func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, wo
 
 // hashEntries materializes a side into (hash, tuple) entries, one
 // storage.Hash call per tuple, parallel over contiguous chunks.
-func hashEntries(src Chunked, n, field int, m *meter.Counters, pg *obs.Progress, w int) []radix.TupleEntry {
+func hashEntries(sq *sched.Query, src Chunked, n, field int, m *meter.Counters, pg *obs.Progress, w int) []radix.TupleEntry {
 	es := make([]radix.TupleEntry, n)
 	chunks := src.Chunks(w * morselsPerWorker)
 	offs := make([]int, len(chunks)+1)
 	for i, c := range chunks {
 		offs[i+1] = offs[i] + c.Len()
 	}
-	m.Add(run(pg, "radix join", w, len(chunks), func(c int, sc *scratch) {
+	m.Add(run(sq, pg, "radix join", w, len(chunks), func(c int, sc *scratch) {
 		i := offs[c]
 		exec.ScanBatches(chunks[c], sc.buf, func(block storage.TupleBatch) bool {
 			sc.ctr.AddBatch(1)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/radix"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -25,18 +26,18 @@ import (
 // occurrence of every distinct key, in input order. A nil/empty radix
 // plan or a tiny list delegates to the partitioned ProjectHash (which
 // itself delegates to the serial §3.4 operator at workers <= 1).
-func RadixProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int, bits []uint) (*storage.TempList, radix.Stats) {
+func RadixProjectHash(sq *sched.Query, list *storage.TempList, m *meter.Counters, pg *obs.Progress, workers int, bits []uint) (*storage.TempList, radix.Stats) {
 	pl := radix.Plan{Bits: bits}
 	n := list.Len()
 	if pl.Fanout() <= 1 || n < 2 || n > math.MaxInt32-1 {
-		return ProjectHash(list, m, pg, workers), radix.Stats{}
+		return ProjectHash(sq, list, m, pg, workers), radix.Stats{}
 	}
 	w := Degree(workers)
 
 	// Phase 1 — hash every row's projected key, parallel over static
 	// contiguous ranges (each worker writes a disjoint span).
 	entries := make([]radix.RowEntry, n)
-	m.Add(run(pg, "radix distinct", w, w, func(widx int, sc *scratch) {
+	m.Add(run(sq, pg, "radix distinct", w, w, func(widx int, sc *scratch) {
 		lo, hi := n*widx/w, n*(widx+1)/w
 		sc.rows += int64(hi - lo)
 		for i := lo; i < hi; i++ {
@@ -55,7 +56,7 @@ func RadixProjectHash(list *storage.TempList, m *meter.Counters, pg *obs.Progres
 	// the first insertion of a key is the serial scan's first occurrence.
 	fanout := pl.Fanout()
 	survivors := make([][]int32, fanout)
-	m.Add(run(pg, "radix distinct", w, fanout, func(p int, sc *scratch) {
+	m.Add(run(sq, pg, "radix distinct", w, fanout, func(p int, sc *scratch) {
 		seg := pe[offs[p]:offs[p+1]]
 		if len(seg) == 0 {
 			return

@@ -31,7 +31,7 @@ func SelectScan(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Selec
 			return exec.SelectScan(src, pred, spec)
 		}
 		results := make([]*storage.TempList, len(chunks))
-		total := run(spec.Prog, "scan", w, len(chunks), func(m int, sc *scratch) {
+		total := run(spec.Sched, spec.Prog, "scan", w, len(chunks), func(m int, sc *scratch) {
 			local := storage.MustTempListHint(desc, chunks[m].Len())
 			keep := sc.keep
 			exec.ScanBatches(chunks[m], sc.buf, func(block storage.TupleBatch) bool {
@@ -52,6 +52,13 @@ func SelectScan(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Selec
 		})
 		spec.Meter.Add(total)
 		return mergeListsRecycle(desc, results)
+	}
+	if spec.Sched.Pooled() {
+		// Opaque sources have no partition structure to morselize, so the
+		// pooled path materializes once (the same extra pass AsChunked pays
+		// elsewhere) and rescans the slice as scheduler morsels — pool
+		// workers must never block in a streaming channel hand-off.
+		return SelectScan(SliceSource(exec.Tuples(src)), pred, spec, workers)
 	}
 	return streamSelect(src, pred, spec, desc, w)
 }
@@ -90,6 +97,12 @@ func streamSelect(src exec.Source, pred func(*storage.Tuple) bool, spec exec.Sel
 				var mine []seqList
 				var wrows int64
 				for sb := range batches {
+					if spec.Sched.Cancelled() {
+						// Keep draining so the producer never blocks, but do
+						// no further work — morsel-boundary cancellation.
+						storage.PutBatch(sb.block)
+						continue
+					}
 					sc.ctr.AddCompare(int64(len(sb.block)))
 					sc.ctr.AddBatch(1)
 					wrows += int64(len(sb.block))

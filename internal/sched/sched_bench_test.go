@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRunSubmit measures the fixed cost of one task-set round trip
+// (submit, admit, execute, retire) with trivial morsels — the scheduler
+// overhead an operator pays on top of its real work.
+func BenchmarkRunSubmit(b *testing.B) {
+	p := NewPool(4)
+	defer p.Stop()
+	q := NewQuery(p, nil, 0)
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Run(4, 16, func(int) { sink.Add(1) })
+	}
+}
+
+// BenchmarkRunFanout measures morsel throughput on a saturated pool:
+// one large set, empty bodies, so ns/op approximates per-morsel
+// scheduling cost (claim, deque, retire).
+func BenchmarkRunFanout(b *testing.B) {
+	p := NewPool(4)
+	defer p.Stop()
+	q := NewQuery(p, nil, 0)
+	var sink atomic.Int64
+	b.ResetTimer()
+	q.Run(4, b.N, func(int) { sink.Add(1) })
+}
+
+// BenchmarkConcurrentQueries measures admission under multi-tenancy:
+// 8 queries submitting sets concurrently onto one 4-worker pool.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	p := NewPool(4)
+	defer p.Stop()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q := NewQuery(p, nil, 0)
+				q.Run(2, 8, func(int) { sink.Add(1) })
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -39,6 +39,12 @@ type Partition struct {
 	heapCap  int
 	heapUsed int
 	lsn      uint64 // highest log sequence number applied; used by recovery
+	// snapDirty marks that DML touched this partition since the last
+	// snapshot publication, so the next publish must re-clone it instead
+	// of sharing the previous snapshot's array (see snapshot.go). Written
+	// under the engine's exclusive locks, read by the publisher under the
+	// same exclusion.
+	snapDirty bool
 }
 
 // ID returns the partition's position within its relation.
@@ -87,6 +93,7 @@ func (p *Partition) place(t *Tuple) {
 	t.slot = slot
 	p.live++
 	p.heapUsed += t.heapBytes()
+	p.snapDirty = true
 }
 
 // remove frees the tuple's slot and heap space. The tuple struct itself
@@ -97,6 +104,7 @@ func (p *Partition) remove(t *Tuple) {
 	p.free = append(p.free, t.slot)
 	p.live--
 	p.heapUsed -= t.heapBytes()
+	p.snapDirty = true
 }
 
 // Scan visits every live tuple in the partition until fn returns false;

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -71,6 +72,13 @@ type Relation struct {
 
 	// stats caches the sampled statistics snapshot (see stats.go).
 	stats relStats
+
+	// Epoch-based snapshot publication (see snapshot.go): the published
+	// image, the DML sequence number stamping its freshness, and the
+	// mutex serializing publishers.
+	snap    atomic.Pointer[Snapshot]
+	snapSeq atomic.Uint64
+	snapMu  sync.Mutex
 }
 
 // AddInsertCheck registers a validator run before every insert; a non-nil
@@ -188,10 +196,11 @@ func (r *Relation) placeTuple(t *Tuple) {
 
 func (r *Relation) newPartition() *Partition {
 	p := &Partition{
-		id:      len(r.parts),
-		rel:     r,
-		slots:   make([]*Tuple, 0, r.cfg.SlotsPerPartition),
-		heapCap: r.cfg.HeapPerPartition,
+		id:        len(r.parts),
+		rel:       r,
+		slots:     make([]*Tuple, 0, r.cfg.SlotsPerPartition),
+		heapCap:   r.cfg.HeapPerPartition,
+		snapDirty: true, // no snapshot has a clone array for it yet
 	}
 	r.parts = append(r.parts, p)
 	return p
@@ -252,6 +261,7 @@ func (r *Relation) Update(t *Tuple, f int, v Value) error {
 		r.moveTuple(t, f, v)
 	} else {
 		t.part.heapUsed += delta
+		t.part.snapDirty = true
 		t.vals[f] = v
 	}
 	for _, o := range r.observers {
@@ -271,6 +281,7 @@ func (r *Relation) moveTuple(t *Tuple, f int, v Value) {
 	// forwarding stub, mirroring the paper's "forwarding address left in
 	// its old position".
 	t.part.heapUsed -= t.heapBytes()
+	t.part.snapDirty = true
 	t.vals = nil
 	t.forward = moved
 	r.placeTuple(moved)

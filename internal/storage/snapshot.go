@@ -1,0 +1,137 @@
+package storage
+
+// Epoch-based snapshot scans. A Snapshot is an immutable copy of a
+// relation's live tuples, published under an epoch (the relation's DML
+// sequence number at publication). Read-only queries whose access path
+// is a full sequential scan read the published snapshot with no locks at
+// all: writers never wait for analytical readers, and readers see a
+// transaction-consistent image (publication happens at commit, under the
+// writer's exclusive locks, after its deferred updates are applied).
+//
+// The copy is cheap to keep fresh: each partition tracks whether any DML
+// touched it since the last publication, and a refresh clones only the
+// dirty partitions, sharing the untouched clone arrays with the previous
+// snapshot copy-on-write. Clone arrays preserve partition slot order, so
+// a snapshot scan's row order is identical to a locked partition scan's.
+//
+// Snapshot tuples are copies, deliberately marked dead: feeding one back
+// into an update or delete fails validation instead of silently writing
+// through a stale image. Ref values inside a clone still point at the
+// canonical (live) tuples, so pointer joins through snapshot rows stay
+// consistent with tuple identity.
+
+// Snapshot is one published relation image: per-partition clone arrays
+// in partition order.
+type Snapshot struct {
+	epoch uint64
+	parts [][]*Tuple
+	rows  int
+}
+
+// Epoch returns the relation DML sequence number the snapshot captured.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Rows returns the number of tuples in the snapshot.
+func (s *Snapshot) Rows() int { return s.rows }
+
+// NumParts returns the number of partition clone arrays.
+func (s *Snapshot) NumParts() int { return len(s.parts) }
+
+// Part returns partition i's clone array (nil when it was empty).
+func (s *Snapshot) Part(i int) []*Tuple { return s.parts[i] }
+
+// SnapshotEpoch returns the relation's current DML sequence number — the
+// epoch a snapshot published now would carry.
+func (r *Relation) SnapshotEpoch() uint64 { return r.snapSeq.Load() }
+
+// Snapshot returns the published snapshot if it is still fresh (no DML
+// has landed since publication), nil otherwise. Lock-free; safe to call
+// concurrently with publication.
+func (r *Relation) Snapshot() *Snapshot {
+	s := r.snap.Load()
+	if s == nil || s.epoch != r.snapSeq.Load() {
+		return nil
+	}
+	return s
+}
+
+// SnapshotLatest returns the most recently published snapshot with no
+// freshness check, nil if none was ever published. The engine's query
+// layer reads through this: every transaction commit republishes before
+// releasing its exclusive locks (txn.Commit → RefreshSnapshot), so at
+// that level an epoch mismatch can only mean a writer is mid-commit —
+// and serving the previous publication is exactly snapshot isolation
+// (the reader serializes before the in-flight writer). Callers that
+// mutate relations directly without refreshing must use Snapshot(),
+// which refuses stale images.
+func (r *Relation) SnapshotLatest() *Snapshot { return r.snap.Load() }
+
+// HasSnapshot reports whether a snapshot has ever been published —
+// possibly stale. Commit uses it to decide whether a relation pays the
+// refresh cost at all.
+func (r *Relation) HasSnapshot() bool { return r.snap.Load() != nil }
+
+// PublishSnapshot builds and publishes a snapshot at the current epoch,
+// reusing the previous snapshot's clone arrays for partitions no DML
+// touched. The caller must exclude writers for the duration — either a
+// shared lock on the relation (the first reader's build) or the writer's
+// own exclusive locks (the commit-time refresh). Concurrent publishers
+// serialize on an internal mutex; a fresh snapshot returns immediately.
+func (r *Relation) PublishSnapshot() *Snapshot {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	epoch := r.snapSeq.Load()
+	prev := r.snap.Load()
+	if prev != nil && prev.epoch == epoch {
+		return prev
+	}
+	s := &Snapshot{epoch: epoch, parts: make([][]*Tuple, len(r.parts))}
+	for i, p := range r.parts {
+		if !p.snapDirty && prev != nil && i < len(prev.parts) {
+			s.parts[i] = prev.parts[i]
+		} else {
+			s.parts[i] = r.clonePartition(p)
+			p.snapDirty = false
+		}
+		s.rows += len(s.parts[i])
+	}
+	r.snap.Store(s)
+	return s
+}
+
+// RefreshSnapshot republishes after a commit's updates, but only when a
+// snapshot has ever been published — relations nobody snapshot-scans
+// (bulk loads, write-only tables) pay nothing. Same locking contract as
+// PublishSnapshot.
+func (r *Relation) RefreshSnapshot() {
+	if r.snap.Load() == nil {
+		return
+	}
+	r.PublishSnapshot()
+}
+
+// clonePartition copies p's live tuples into a fresh clone array. The
+// clones are carved from one header block and one value arena (two
+// allocations per partition, not two per tuple) and are marked dead so
+// write paths reject them.
+func (r *Relation) clonePartition(p *Partition) []*Tuple {
+	if p.live == 0 {
+		return nil
+	}
+	headers := make([]Tuple, 0, p.live)
+	arena := make([]Value, 0, p.live*r.schema.Arity())
+	out := make([]*Tuple, 0, p.live)
+	for _, t := range p.slots {
+		if t == nil || t.dead || t.forward != nil {
+			continue
+		}
+		off := len(arena)
+		arena = append(arena, t.vals...)
+		headers = append(headers, Tuple{
+			id: t.id, part: p, slot: -1, dead: true,
+			vals: arena[off:len(arena):len(arena)],
+		})
+		out = append(out, &headers[len(headers)-1])
+	}
+	return out
+}

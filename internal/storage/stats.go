@@ -53,8 +53,13 @@ func statsDirty(rows int, delta int64) bool {
 
 // noteDML records one mutating operation; called from Insert, Delete,
 // and Update under the engine's exclusive table lock, but atomic so
-// lock-free readers (metrics exposition) stay race-clean.
-func (r *Relation) noteDML() { r.stats.dml.Add(1) }
+// lock-free readers (metrics exposition, snapshot freshness checks)
+// stay race-clean. The snapshot epoch advances with it, invalidating
+// any published snapshot until the next publication (snapshot.go).
+func (r *Relation) noteDML() {
+	r.stats.dml.Add(1)
+	r.snapSeq.Add(1)
+}
 
 // Stats returns the relation's statistics, refreshing the cached
 // snapshot when it has never been taken or when DML since the last

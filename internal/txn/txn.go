@@ -299,6 +299,18 @@ func (t *Txn) Commit() ([]*storage.Tuple, error) {
 	if t.m.Log != nil {
 		t.m.Log.Commit(t.id)
 	}
+	// Republish snapshots of the touched relations while this
+	// transaction's exclusive locks still exclude other writers, so
+	// lock-free snapshot readers move from the pre-commit image straight
+	// to the post-commit one. Relations nobody snapshot-scans skip this
+	// (RefreshSnapshot is a nil check for them).
+	var refreshed *storage.Relation
+	for _, o := range t.ops {
+		if o.rel != refreshed {
+			o.rel.RefreshSnapshot()
+			refreshed = o.rel
+		}
+	}
 	t.m.Locks.ReleaseAll(t.lockID())
 	if t.m.Obs != nil && !t.untracked {
 		t.m.Obs.TxnCommit()

@@ -228,3 +228,28 @@ func TestComposeShuffles(t *testing.T) {
 		t.Fatalf("only %d runs in shuffled output", runs)
 	}
 }
+
+func TestUpdateSpecStream(t *testing.T) {
+	const rows = 1000
+	next := UpdateSpec{Rows: rows}.Stream(rand.New(rand.NewSource(7)))
+	counts := make([]int, rows)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		idx := next()
+		if idx < 0 || idx >= rows {
+			t.Fatalf("index %d out of [0,%d)", idx, rows)
+		}
+		counts[idx]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would give each row draws/rows = 20 hits; Zipf must
+	// concentrate writes far beyond that on the hottest row.
+	if max < 10*draws/rows {
+		t.Fatalf("hottest row took %d/%d draws; stream not skewed", max, draws)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/recovery"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -137,7 +138,42 @@ type Options struct {
 	// SlowQueryLogSize bounds the slow-query ring; 0 means
 	// obs.DefaultSlowLogSize entries. Oldest entries are overwritten.
 	SlowQueryLogSize int
+	// PoolWorkers selects the morsel scheduler this database's parallel
+	// operators run on. 0 (the default) shares the process-wide
+	// work-stealing pool (sched.Shared, GOMAXPROCS workers) with every
+	// other database in the process — concurrent queries interleave at
+	// morsel granularity instead of oversubscribing the machine with
+	// per-query goroutine fleets. A positive value gives this database a
+	// dedicated pool of that many workers (stopped by Close).
+	// PoolDisabled restores the pre-scheduler behavior: per-query worker
+	// goroutines, with the effective degree clamped by the number of
+	// concurrently active parallel queries so the process never runs more
+	// workers than cores.
+	PoolWorkers int
+	// DisableSnapshots turns off epoch-based snapshot scans. By default a
+	// read-only query whose access path is a parallel sequential scan
+	// reads a copy-on-write snapshot of the relation published at the
+	// last commit, taking no locks at all — writers never wait for
+	// analytical readers and vice versa. Disabled, every query goes back
+	// to S-locking the relations it reads. Snapshot results are immutable
+	// copies: updating tuples obtained from a snapshot scan fails
+	// validation, so set this if you update through large-scan results.
+	DisableSnapshots bool
+	// DisableDegreeClamp turns off the active-query degree clamp in
+	// PoolDisabled mode, restoring the original per-query behavior where
+	// every query resolves its degree independently — N concurrent
+	// queries launch N×degree goroutines. It exists so the concurrency
+	// experiment can measure the unclamped baseline the scheduler
+	// replaced; production configurations should never set it. With the
+	// pool enabled it has no effect (the pool bounds workers itself).
+	DisableDegreeClamp bool
 }
+
+// PoolDisabled, given to Options.PoolWorkers, turns the shared morsel
+// scheduler off for this database: parallel operators spawn per-query
+// worker goroutines (the pre-scheduler execution mode), clamped by the
+// count of concurrently active parallel queries.
+const PoolDisabled = -1
 
 // JoinStrategy selects between the paper-faithful chained-bucket hash
 // join and the cache-conscious radix hash join for equijoins that have
@@ -233,6 +269,8 @@ type Database struct {
 	obs    *obs.Registry  // nil when Options.DisableMetrics
 	active *obs.ActiveSet // nil when Options.DisableMetrics
 	slow   *obs.SlowLog   // nil unless Options.SlowQueryThreshold > 0
+	sched  *sched.Pool    // nil when Options.PoolWorkers == PoolDisabled
+	ownPool bool          // sched is dedicated (stop it on Close)
 }
 
 // Open creates a database. With Options.Dir set, a previously saved disk
@@ -251,6 +289,26 @@ func Open(opts Options) (*Database, error) {
 	}
 	if opts.SlowQueryThreshold > 0 {
 		db.slow = obs.NewSlowLog(opts.SlowQueryThreshold, opts.SlowQueryLogSize)
+	}
+	switch {
+	case opts.PoolWorkers > 0:
+		db.sched = sched.NewPool(opts.PoolWorkers)
+		db.ownPool = true
+	case opts.PoolWorkers == 0:
+		db.sched = sched.Shared()
+	}
+	if db.obs != nil && db.sched != nil {
+		pool := db.sched
+		db.obs.SetSchedSource(func() obs.SchedStats {
+			s := pool.SnapshotStats()
+			return obs.SchedStats{
+				Workers:    s.Workers,
+				QueueDepth: s.QueueDepth,
+				Busy:       s.Busy,
+				Steals:     s.Steals,
+				Parks:      s.Parks,
+			}
+		})
 	}
 	if opts.Dir != "" {
 		log, err := recovery.NewManager(opts.Dir)
@@ -273,8 +331,14 @@ func Open(opts Options) (*Database, error) {
 }
 
 // Close stops the background log device, propagating any remaining
-// committed records to the disk copy.
+// committed records to the disk copy, and stops a dedicated morsel
+// scheduler pool (the shared process-wide pool is left running).
 func (db *Database) Close() error {
+	if db.ownPool && db.sched != nil {
+		db.sched.Stop()
+		db.sched = nil
+		db.ownPool = false
+	}
 	if db.device != nil {
 		if err := db.device.Stop(); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/radix"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/tupleindex"
 )
@@ -59,6 +61,10 @@ type Query struct {
 	sortStrat *SortStrategy // per-query Options.SortMethod override
 	ordStrat  *JoinOrderStrategy // per-query Options.JoinOrder override
 	forced    []string           // ForceJoinOrder relation names
+	prio      int                // scheduler admission tiebreak (Priority)
+	ctx       context.Context    // cancellation scope (WithContext); nil = background
+	sq        *sched.Query       // per-execution scheduler handle, set by execute
+	snap      *storage.Snapshot  // lock-free snapshot this execution reads; nil = locked
 	err       error
 	// forceJoin overrides the planner's join choice — a testing hook that
 	// lets trace tests exercise methods the preference ordering would not
@@ -434,13 +440,73 @@ func (q *Query) Parallel(n int) *Query {
 	return q
 }
 
+// Priority sets the query's scheduler admission priority. When several
+// queries have morsels pending on the shared pool, idle workers admit
+// the highest-priority query first and round-robin among equals; the
+// default is 0. It has no effect with Options.PoolWorkers == PoolDisabled.
+func (q *Query) Priority(p int) *Query {
+	q.prio = p
+	return q
+}
+
+// WithContext scopes the query's execution to ctx: cancellation is
+// observed at morsel boundaries, so a cancelled query stops submitting
+// work and its unclaimed morsels are discarded — pool workers move on
+// to other queries within one morsel. Run/Analyze then return ctx.Err().
+func (q *Query) WithContext(ctx context.Context) *Query {
+	q.ctx = ctx
+	return q
+}
+
 // parallelism resolves the query's requested degree of parallelism:
 // the per-query override, else the database default, else GOMAXPROCS.
+// With the morsel scheduler disabled (Options.PoolWorkers ==
+// PoolDisabled) the degree is additionally clamped by the number of
+// concurrently active parallel queries, so the per-query goroutine
+// fleets never oversubscribe the machine in aggregate.
 func (q *Query) parallelism() int {
-	if q.par > 0 {
-		return q.par
+	n := q.par
+	if n <= 0 {
+		n = parallel.Degree(q.db.opts.Parallelism)
 	}
-	return parallel.Degree(q.db.opts.Parallelism)
+	if q.db.sched == nil && !q.db.opts.DisableDegreeClamp {
+		n = parallel.ClampDegree(n)
+	}
+	return n
+}
+
+// snapshotMinRows is the smallest table a query will snapshot-scan.
+// Below it the copy overhead and the loss of live tuple handles (clone
+// rows reject writes) outweigh lock-freedom; the bound is intentionally
+// the same row count at which the planner first grants a second scan
+// worker, but holds even at degree 1 so single-core boxes still scan
+// lock-free beside writers.
+const snapshotMinRows = 2 * plan.MinRowsPerWorker
+
+// snapshotShapeOK reports whether this query's shape may read the
+// from-table's published snapshot instead of locking: read-only (not
+// inside a user transaction), single relation, and an access path that
+// is a full sequential scan — index lookups and pushed-down limits keep
+// the locked protocol, because only the full partition scan produces
+// output identical (row for row) to the snapshot's clone arrays. The
+// caller additionally requires a parallel worker grant, so small tables
+// — whose results are routinely fed back into updates — stay on locked
+// scans of live tuples.
+func (q *Query) snapshotShapeOK() bool {
+	if q.tx != nil || q.db.opts.DisableSnapshots || len(q.joins) > 0 || q.from == nil {
+		return false
+	}
+	grouped := len(q.groupBy) > 0 || len(q.aggs) > 0
+	barrier := q.distinct || grouped || len(q.orderBy) > 0
+	if q.limit == 0 || (q.limit > 0 && !barrier) {
+		return false // the limit pushes an early exit into the selection
+	}
+	if len(q.preds) > 0 {
+		if _, path := q.chooseSelectionPath(); path != plan.PathSequentialScan {
+			return false
+		}
+	}
+	return true
 }
 
 // JoinMethod overrides Options.JoinMethod for this query: JoinAuto
@@ -621,10 +687,50 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 	}
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
-	for _, t := range tables {
-		if err := reader.inner.LockRelationShared(t.rel); err != nil {
-			return nil, nil, err
+
+	// Epoch snapshot scans: a read-only single-relation query whose
+	// access path is a full parallel sequential scan reads the published
+	// snapshot with no locks at all, so it can never wait on (or be
+	// waited on by) a writer. SnapshotLatest serves the last publication
+	// even while a writer is mid-commit (every commit republishes before
+	// releasing its locks, so that image is the last committed state —
+	// the reader simply serializes before the in-flight writer). When no
+	// snapshot was ever published the query falls back to the locked
+	// protocol — and publishes a fresh snapshot under the shared lock it
+	// holds anyway, so the next eligible query goes lock-free.
+	q.snap = nil
+	snapOK := q.snapshotShapeOK()
+	if snapOK {
+		if s := q.from.rel.SnapshotLatest(); s != nil && s.Rows() >= snapshotMinRows {
+			q.snap = s
 		}
+	}
+	if q.snap == nil {
+		for _, t := range tables {
+			if err := reader.inner.LockRelationShared(t.rel); err != nil {
+				return nil, nil, err
+			}
+		}
+		if snapOK && q.from.Cardinality() >= snapshotMinRows {
+			q.from.rel.PublishSnapshot()
+		}
+	}
+
+	// Scheduler admission handle for this execution: parallel operators
+	// submit their morsels through it onto the shared (or dedicated)
+	// work-stealing pool. With the pool disabled the handle still carries
+	// the context for morsel-boundary cancellation, and the query counts
+	// toward the degree clamp while it runs.
+	qctx := q.ctx
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	q.sq = sched.NewQuery(q.db.sched, qctx, q.prio)
+	if q.db.sched == nil {
+		defer parallel.EnterQuery()()
+	}
+	if err := q.sq.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	var start time.Time
@@ -639,7 +745,14 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	// Resolve the block size batch-at-a-time operators run with, so the
 	// executed plan records it (pooled blocks are physically
 	// plan.DefaultBatchSize; tiny inputs account for smaller blocks).
-	card := q.from.Cardinality()
+	// Snapshot mode holds no locks, so it sizes from the snapshot's own
+	// row count rather than racing the live cardinality counter.
+	card := 0
+	if q.snap != nil {
+		card = q.snap.Rows()
+	} else {
+		card = q.from.Cardinality()
+	}
 	batchSize := plan.ChooseBatchSize(q.db.opts.BatchSize, card)
 	planNotes = append(planNotes, fmt.Sprintf("batch: %d-tuple pointer blocks", batchSize))
 
@@ -717,6 +830,13 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		if len(q.preds) == 0 {
 			shape = "full scan"
 		}
+	}
+
+	// Phase boundary: a cancelled query stops here rather than planning
+	// and running the next operator (inside operators, cancellation is
+	// observed at morsel boundaries).
+	if err := q.sq.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	// Phase 2 (multi-join): three or more relations route through the
@@ -886,6 +1006,10 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 		}
 	}
 
+	if err := q.sq.Err(); err != nil {
+		return nil, nil, err
+	}
+
 	if grouped {
 		// Phase 3 (grouped): aggregation replaces projection — the output
 		// columns are the group keys followed by the aggregates.
@@ -1003,11 +1127,11 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			distinctPath = fmt.Sprintf("sort-scan duplicate elimination (%s)", sm)
 			planNotes = append(planNotes, "distinct: "+distinctPath)
 		} else if dbits := q.radixBits(list.Len()); dbits != nil {
-			list, dstats = parallel.RadixProjectHash(list, mp, pg, distinctWorkers, dbits)
+			list, dstats = parallel.RadixProjectHash(q.sq, list, mp, pg, distinctWorkers, dbits)
 			distinctPath = "radix-partitioned hash duplicate elimination"
 			planNotes = append(planNotes, "distinct: "+distinctPath)
 		} else if distinctWorkers > 1 {
-			list = parallel.ProjectHash(list, mp, pg, distinctWorkers)
+			list = parallel.ProjectHash(q.sq, list, mp, pg, distinctWorkers)
 			planNotes = append(planNotes,
 				fmt.Sprintf("distinct: partitioned hash duplicate elimination (%d workers)", distinctWorkers))
 		} else {
@@ -1044,6 +1168,10 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			root.Add(node)
 			t0 = now
 		}
+	}
+
+	if err := q.sq.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	// Phase 4: ORDER BY (+ LIMIT k as bounded-heap top-k when the planner
@@ -1115,11 +1243,14 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			root.RowsOut = list.Len()
 			trace.Total = wall
 			trace.Decisions = decisions
+			trace.SchedSteals = q.sq.Steals()
+			trace.SchedWait = q.sq.WaitTime()
 		}
 		if slow != nil && wall >= slow.Threshold() {
 			slow.Record(obs.SlowQuery{
 				ID: aq.ID(), Text: qtext, Start: start, Wall: wall,
 				Rows: int64(list.Len()), Trace: trace,
+				SchedSteals: q.sq.Steals(), SchedWait: q.sq.WaitTime(),
 			})
 		}
 	}
@@ -1334,7 +1465,40 @@ type selExec struct {
 // parallel scan paths are skipped).
 func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress, limit int) selExec {
 	t := q.from
-	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m, Prog: pg}
+	spec := exec.SelectSpec{RelName: t.Name(), Schema: t.rel.Schema(), Meter: m, Prog: pg, Sched: q.sq}
+	if snap := q.snap; snap != nil && len(q.preds) == 0 {
+		// Lock-free snapshot scan: every tuple read comes from the
+		// epoch-published clone arrays; the live relation is never
+		// touched. The degree is resolved against the snapshot's own row
+		// count (the live counter is being written concurrently), and
+		// workers <= 1 still scans the snapshot, just serially.
+		w := plan.ChooseWorkers(q.parallelism(), snap.Rows())
+		var list *storage.TempList
+		if w <= 1 {
+			// Serial: whole clone-array blocks move into the presized
+			// temp list, the same zero-predicate fast path the locked
+			// serial scan uses.
+			list = storage.MustTempListHint(
+				storage.Descriptor{Sources: []string{t.Name()}}, snap.Rows())
+			buf := storage.GetBatch()
+			parallel.SnapshotSource{Snap: snap}.ScanBatches(buf, func(block storage.TupleBatch) bool {
+				m.AddBatch(1)
+				list.AppendBatch(block)
+				return true
+			})
+			storage.PutBatch(buf)
+		} else {
+			list = parallel.SelectScan(parallel.SnapshotSource{Snap: snap},
+				func(*storage.Tuple) bool { return true }, spec, w)
+		}
+		return selExec{
+			list:     list,
+			pathDesc: fmt.Sprintf("snapshot scan @ epoch %d (%d workers, lock-free)", snap.Epoch(), w),
+			path:     plan.PathSequentialScan,
+			rowsIn:   list.Len(),
+			workers:  w,
+		}
+	}
 	if len(q.preds) == 0 {
 		if limit >= 0 {
 			// LIMIT pushed into the bare scan: append row-at-a-time and cut
@@ -1422,7 +1586,13 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress, limit int) sel
 		probeKind, probes = ix.kind.String(), 1
 		// Range access is inclusive; strict bounds drop the endpoint below.
 	default:
-		if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 && limit < 0 {
+		if snap := q.snap; snap != nil {
+			// Lock-free snapshot scan; the predicates all run as residual
+			// filters below, exactly as the locked scan-all path does.
+			scanWorkers = plan.ChooseWorkers(q.parallelism(), snap.Rows())
+			list = parallel.SelectScan(parallel.SnapshotSource{Snap: snap},
+				func(*storage.Tuple) bool { return true }, spec, scanWorkers)
+		} else if w := plan.ChooseWorkers(q.parallelism(), t.Cardinality()); w > 1 && limit < 0 {
 			scanWorkers = w
 			list = parallel.SelectScan(parallel.RelationSource{Rel: t.rel},
 				func(*storage.Tuple) bool { return true }, spec, w)
@@ -1433,6 +1603,9 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress, limit int) sel
 	rowsIn := list.Len()
 	if bestPath == plan.PathSequentialScan {
 		rowsIn = t.Cardinality()
+		if q.snap != nil {
+			rowsIn = q.snap.Rows()
+		}
 	}
 	// Residual filter: every predicate re-checked (strict bounds, extra
 	// conjuncts, Ne). A pushed-down limit stops the filter — and with it
@@ -1459,6 +1632,10 @@ func (q *Query) runSelection(m *meter.Counters, pg *obs.Progress, limit int) sel
 	pathDesc := fmt.Sprintf("%s on %q", bestPath, p.column)
 	if scanWorkers > 1 {
 		pathDesc = fmt.Sprintf("parallel partition scan (%d workers) on %q", scanWorkers, p.column)
+	}
+	if q.snap != nil {
+		pathDesc = fmt.Sprintf("snapshot scan @ epoch %d (%d workers, lock-free) on %q",
+			q.snap.Epoch(), scanWorkers, p.column)
 	}
 	if len(q.preds) > 1 {
 		pathDesc += fmt.Sprintf(" + %d residual filter(s)", len(q.preds)-1)
@@ -1589,7 +1766,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 	spec := exec.JoinSpec{
 		OuterName: q.rels[0].name, InnerName: q.rels[1].name,
 		OuterField: j.leftField, InnerField: j.rightField,
-		Meter: m, Prog: pg, Limit: limit,
+		Meter: m, Prog: pg, Limit: limit, Sched: q.sq,
 	}
 	out := joinExec{method: choice, rowsIn: outer.Len(), workRows: outer.Len() + innerCard}
 	switch choice {
@@ -1948,6 +2125,7 @@ func (q *Query) runMultiJoin(left *storage.TempList, m *meter.Counters, pg *obs.
 		Limit:      limit,
 		Meter:      m,
 		Prog:       pg,
+		Sched:      q.sq,
 	}
 	hint := int(res.EstRows[n-1])
 	if hint < 0 || res.EstRows[n-1] > 1<<30 {
@@ -2076,7 +2254,7 @@ func (q *Query) runGroup(list *storage.TempList, m *meter.Counters, pg *obs.Prog
 	method, bits := plan.ChooseAggMethod(n, q.db.opts.Agg)
 	workers := plan.ChooseWorkers(q.parallelism(), n)
 	g := agg.Get()
-	res := parallel.HashAgg(pg, g, work, gcols, specs, bits, workers, m)
+	res := parallel.HashAgg(q.sq, pg, g, work, gcols, specs, bits, workers, m)
 	if len(gcols) == 0 && res.Groups() == 0 {
 		// Global aggregation over an empty input still yields one row
 		// (COUNT = 0, the rest NULL), per SQL. The rep row ordinal is never
@@ -2139,7 +2317,7 @@ func (q *Query) runOrder(list *storage.TempList, m *meter.Counters, pg *obs.Prog
 	var path string
 	if method == plan.TopKHeap {
 		workers = plan.ChooseWorkers(q.parallelism(), n)
-		rows = parallel.TopK(pg, list, keys, k, workers, m)
+		rows = parallel.TopK(q.sq, pg, list, keys, k, workers, m)
 		path = fmt.Sprintf("bounded-heap top-k (k=%d)", k)
 	} else {
 		sm := q.sortMethodFor(n, len(keys)*plan.DefaultSortPrefixBytes)

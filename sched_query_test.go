@@ -1,0 +1,307 @@
+package mmdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// openSnapTable builds one table big enough for the planner to grant
+// parallel workers (rows ≫ plan.MinRowsPerWorker) with an invariant the
+// snapshot tests check: sum(k) over all rows is constant because writers
+// only ever touch v.
+func openSnapTable(t *testing.T, opts Options, rows int) (*Database, *Table, []*Tuple, int64) {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("m", []Field{
+		{Name: "id", Type: TypeInt},
+		{Name: "k", Type: TypeInt},
+		{Name: "v", Type: TypeInt},
+	}, "id", TTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumK int64
+	tuples := make([]*Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		k := int64(i % 97)
+		tp, err := tab.Insert(Int(int64(i)), Int(k), Int(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples = append(tuples, tp)
+		sumK += k
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, tab, tuples, sumK
+}
+
+// scanAll runs one parallel full scan and returns (count, sum(k)).
+func scanAll(t *testing.T, db *Database) (int, int64) {
+	t.Helper()
+	res, err := db.Query("m").Select("k").Parallel(4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i := 0; i < res.Len(); i++ {
+		sum += res.Row(i)[0].Int()
+	}
+	return res.Len(), sum
+}
+
+// TestSnapshotScanPathAndTrace verifies a repeated read-only seq scan
+// moves onto the lock-free snapshot path and that EXPLAIN ANALYZE
+// reports it, alongside the scheduler cost line.
+func TestSnapshotScanPathAndTrace(t *testing.T) {
+	db, _, _, sumK := openSnapTable(t, Options{}, 12000)
+
+	// First execution takes locks and publishes the snapshot.
+	if n, s := scanAll(t, db); n != 12000 || s != sumK {
+		t.Fatalf("first scan: count=%d sum=%d, want 12000/%d", n, s, sumK)
+	}
+	_, tr, err := db.Query("m").Select("k").Parallel(4).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Format()
+	if !strings.Contains(out, "snapshot scan @ epoch") {
+		t.Fatalf("second scan not on the snapshot path:\n%s", out)
+	}
+	// The query ran through the morsel pool; its admission wait is
+	// carried on the trace (steals may legitimately be zero).
+	if tr.SchedWait < 0 {
+		t.Fatalf("negative sched wait %v", tr.SchedWait)
+	}
+
+	// Shape guards: a transaction-scoped or joined query must not use
+	// the snapshot.
+	_, tr, err = db.Query("m").Where("k", Gt, Int(-1)).Select("k").Parallel(4).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Format(); !strings.Contains(got, "snapshot scan") {
+		t.Fatalf("predicated seq scan should also snapshot:\n%s", got)
+	}
+}
+
+// TestSnapshotScanDoesNotBlockWriter runs parallel snapshot scans beside
+// a stream of single-row update transactions and demands zero lock
+// waits: readers hold no locks at all, and the writer never queues.
+func TestSnapshotScanDoesNotBlockWriter(t *testing.T) {
+	db, tab, tuples, sumK := openSnapTable(t, Options{}, 12000)
+
+	// Publish the snapshot (first scan locks; later scans are lock-free).
+	scanAll(t, db)
+
+	base := db.Stats().LockWaits
+
+	stop := make(chan struct{})
+	var writerErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			if err := tx.Update(tab, tuples[r%len(tuples)], "v", Int(int64(r))); err != nil {
+				writerErr.Store(err)
+				return
+			}
+			if _, err := tx.Commit(); err != nil {
+				writerErr.Store(err)
+				return
+			}
+			r++
+		}
+	}()
+
+	for i := 0; i < 30; i++ {
+		if n, s := scanAll(t, db); n != 12000 || s != sumK {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scan %d beside writer: count=%d sum=%d, want 12000/%d", i, n, s, sumK)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err, _ := writerErr.Load().(error); err != nil {
+		t.Fatalf("writer failed: %v", err)
+	}
+	if waits := db.Stats().LockWaits - base; waits != 0 {
+		t.Fatalf("%d lock waits during snapshot-scan/writer mix, want 0", waits)
+	}
+}
+
+// TestSnapshotConsistencyHammer is the -race workhorse: several writer
+// goroutines churn disjoint row ranges with update and delete+reinsert
+// transactions while reader goroutines run parallel snapshot scans.
+// Every scan must observe a committed state: exact row count and the
+// invariant sum(k) (writers change v, and delete+reinsert pairs carry k
+// across atomically).
+func TestSnapshotConsistencyHammer(t *testing.T) {
+	const rows = 12000
+	db, tab, tuples, sumK := openSnapTable(t, Options{}, rows)
+	scanAll(t, db) // publish
+
+	const writers = 3
+	const readers = 3
+	duration := 400 * time.Millisecond
+	if testing.Short() {
+		duration = 100 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Disjoint slice of rows per writer: no dead-tuple conflicts.
+			lo, hi := w*rows/writers, (w+1)*rows/writers
+			mine := append([]*Tuple(nil), tuples[lo:hi]...)
+			r := 0
+			for time.Now().Before(deadline) {
+				i := r % len(mine)
+				tx := db.Begin()
+				if r%3 == 2 {
+					// Delete + reinsert with the same k: count and
+					// sum(k) are invariant across the atomic commit.
+					vals, err := tx.Read(mine[i])
+					if err != nil {
+						errc <- err
+						tx.Abort()
+						return
+					}
+					if err := tx.Delete(tab, mine[i]); err != nil {
+						errc <- err
+						return
+					}
+					if err := tx.Insert(tab, Int(vals[0].Int()+1_000_000), vals[1], Int(int64(r))); err != nil {
+						errc <- err
+						return
+					}
+					ins, err := tx.Commit()
+					if err != nil {
+						errc <- err
+						return
+					}
+					mine[i] = ins[0]
+				} else {
+					if err := tx.Update(tab, mine[i], "v", Int(int64(r))); err != nil {
+						errc <- err
+						return
+					}
+					if _, err := tx.Commit(); err != nil {
+						errc <- err
+						return
+					}
+				}
+				r++
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				res, err := db.Query("m").Select("k").Parallel(4).Run()
+				if err != nil {
+					errc <- err
+					return
+				}
+				var sum int64
+				for i := 0; i < res.Len(); i++ {
+					sum += res.Row(i)[0].Int()
+				}
+				if res.Len() != rows || sum != sumK {
+					errc <- fmt.Errorf("torn read: count=%d sum=%d, want %d/%d", res.Len(), sum, rows, sumK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestCancelMidJoinReleasesPoolWorkers cancels a large join mid-flight
+// and verifies (a) Run surfaces the context error and (b) the shared
+// morsel pool drains back to idle — no worker is left running the dead
+// query's morsels.
+func TestCancelMidJoinReleasesPoolWorkers(t *testing.T) {
+	const rows = 30000
+	db := openBig(t, Options{}, rows) // a ⋈ b on k: ~rows²/(2·97) output rows
+
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := db.Query("a").Where("id", Gt, Int(-1)).
+				Join("b", "k", "k").Select("a.id", "b.id").
+				Parallel(4).WithContext(ctx).Run()
+			done <- err
+		}()
+		time.Sleep(time.Duration(2+attempt*3) * time.Millisecond)
+		cancel()
+		err := <-done
+		if err == nil {
+			// The query outran the cancel; retry with a longer fuse.
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+		}
+		// The pool must drain: no busy workers, no queued morsels from
+		// the dead query (other tests are not running concurrently in
+		// this package, so idle means idle).
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := sched.Shared().SnapshotStats()
+			if st.Busy == 0 && st.QueueDepth == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("pool did not drain after cancel: %+v", st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Skip("query completed before every cancel attempt; machine too fast for a timing-based cancel")
+}
+
+// TestPreCancelledContextRejectsQuery is the deterministic half of the
+// cancellation contract: a context that is already dead fails the query
+// before any operator runs.
+func TestPreCancelledContextRejectsQuery(t *testing.T) {
+	db, _, _, _ := openSnapTable(t, Options{}, 5000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Query("m").Select("k").Parallel(4).WithContext(ctx).Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query returned %v, want context.Canceled", err)
+	}
+}
+
