@@ -1,0 +1,80 @@
+package mmdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The benchgate pair for the memory-budgeted skew defenses: the same
+// Zipf-skewed radix join under a budget far below its build tables,
+// once with the dynamic-hybrid defenses on and once disabled. Both
+// report the joined row count via b.ReportMetric; every generated key
+// lies inside the probe relation's unique-key domain, so the
+// cardinality equals the build cardinality exactly on every machine
+// and benchgate diffs it exactly — a defense that drops or duplicates
+// rows fails the gate even if it got faster.
+
+const skewBenchRows = 60000
+
+func openSkewPair(b *testing.B, noDefense bool) *Database {
+	b.Helper()
+	db, err := Open(Options{
+		MemoryBudget:       32 << 10,
+		DisableSkewDefense: noDefense,
+		// Radix at any build size: the bench measures the budgeted radix
+		// path, not the crossover.
+		Radix: RadixConfig{MinBuildRows: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := db.CreateTable("probe", []Field{
+		{Name: "id", Type: TypeInt}, {Name: "k", Type: TypeInt},
+	}, "id", TTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < skewBenchRows; i++ {
+		if _, err := probe.Insert(Int(int64(i)), Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys, err := workload.BuildZipf(
+		workload.ZipfSpec{Cardinality: skewBenchRows}, rand.New(rand.NewSource(1986)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := db.CreateTable("build", []Field{
+		{Name: "id", Type: TypeInt}, {Name: "k", Type: TypeInt},
+	}, "id", TTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range keys.Values {
+		if _, err := build.Insert(Int(int64(i)), Int(k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func benchSkewJoin(b *testing.B, noDefense bool) {
+	db := openSkewPair(b, noDefense)
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("probe").Join("build", "k", "k").
+			Select("probe.id", "build.id").Parallel(4).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = res.Len()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkSkewJoinDefended(b *testing.B) { benchSkewJoin(b, false) }
+
+func BenchmarkSkewJoinNoDefense(b *testing.B) { benchSkewJoin(b, true) }

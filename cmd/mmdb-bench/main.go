@@ -23,6 +23,7 @@ import (
 	_ "repro/internal/concbench"      // registers the concurrent-query throughput experiment
 	_ "repro/internal/joinorderbench" // registers the join-ordering experiment
 	_ "repro/internal/obsbench"       // registers the telemetry-overhead experiment
+	_ "repro/internal/skewbench"      // registers the memory-budget skew-defense experiment
 )
 
 // jsonReport is the machine-readable run record the -json flag writes:

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/index"
+	"repro/internal/mem"
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -55,6 +56,21 @@ type JoinSpec struct {
 	// Sched is the query's admission handle on the shared morsel
 	// scheduler (see SelectSpec.Sched). The serial operators ignore it.
 	Sched *sched.Query
+	// Mem is the query's memory reservation on the engine grant manager.
+	// When non-nil, the radix join grants every partition's build table
+	// before constructing it and degrades gracefully when a grant is
+	// refused: build/probe role reversal on partition pairs whose
+	// forecast build side turned out larger, recursive re-splitting of
+	// partitions whose table would overflow the grant, and forced
+	// overcommit (recorded) only when a partition cannot be split
+	// smaller. Nil — the unbudgeted state — runs the exact pre-budget
+	// code path.
+	Mem *mem.Reservation
+	// NoDefense disables the reversal/repartition degradation while
+	// keeping budget-clamped planning: every partition pair builds its
+	// forecast side in one table of whatever size it is. It exists for
+	// A/B benchmarking of the defenses and as an escape hatch.
+	NoDefense bool
 }
 
 // emitter materializes (or merely counts) join result rows.

@@ -103,3 +103,18 @@ func FmtCount(v float64) string {
 }
 
 func trimZero(s string) string { return strings.TrimSuffix(s, ".0") }
+
+// FmtBytes renders a byte count with binary suffixes and a B unit
+// (4096 → "4KiB") for the trace's budget line.
+func FmtBytes(v int64) string {
+	switch {
+	case v < 1<<10:
+		return fmt.Sprintf("%dB", v)
+	case v < 1<<20:
+		return trimZero(fmt.Sprintf("%.1f", float64(v)/(1<<10))) + "KiB"
+	case v < 1<<30:
+		return trimZero(fmt.Sprintf("%.1f", float64(v)/(1<<20))) + "MiB"
+	default:
+		return trimZero(fmt.Sprintf("%.1f", float64(v)/(1<<30))) + "GiB"
+	}
+}

@@ -46,6 +46,10 @@ type Snapshot struct {
 	// the database runs on a work-stealing pool (SetSchedSource wired).
 	Sched *SchedStats `json:"sched,omitempty"`
 
+	// Mem is the memory grant manager's snapshot, present when the
+	// database runs with a memory budget (SetMemSource wired).
+	Mem *MemStats `json:"mem,omitempty"`
+
 	// Tables carries the per-relation statistics snapshots the join-order
 	// planner runs on. The registry itself does not track these — the
 	// engine's Database.Stats() fills them in from storage, so they are
@@ -75,8 +79,14 @@ func (r *Registry) Snapshot() Snapshot {
 		s := r.schedSource()
 		sched = &s
 	}
+	var gm *MemStats
+	if r.memSource != nil {
+		m := r.memSource()
+		gm = &m
+	}
 	return Snapshot{
 		Sched:         sched,
+		Mem:           gm,
 		Queries:       r.queries.Load(),
 		QueriesByPlan: r.planShapes.snapshot(),
 		RowsScanned:   r.rowsScanned.Load(),
@@ -120,6 +130,10 @@ func (s Snapshot) String() string {
 	if s.Sched != nil {
 		fmt.Fprintf(&b, "scheduler         workers=%d queue=%d busy=%d steals=%d parks=%d\n",
 			s.Sched.Workers, s.Sched.QueueDepth, s.Sched.Busy, s.Sched.Steals, s.Sched.Parks)
+	}
+	if s.Mem != nil {
+		fmt.Fprintf(&b, "memory budget     total=%d granted=%d waiting=%d forced=%d reversals=%d repartitions=%d\n",
+			s.Mem.Total, s.Mem.Granted, s.Mem.Waiting, s.Mem.Forced, s.Mem.Reversals, s.Mem.Repartitions)
 	}
 	fmt.Fprintf(&b, "transactions      begin=%d commit=%d abort=%d\n", s.TxnBegins, s.TxnCommits, s.TxnAborts)
 	fmt.Fprintf(&b, "locks             waits=%d wait time=%s deadlocks=%d\n", s.LockWaits, s.LockWaitTime, s.Deadlocks)
@@ -234,6 +248,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		gauge("mmdb_sched_busy_workers", "Workers executing a morsel right now.", s.Sched.Busy)
 		counter("mmdb_sched_steals_total", "Morsels executed by a worker other than the enqueuer.", s.Sched.Steals)
 		counter("mmdb_sched_park_total", "Times a scheduler worker went idle.", s.Sched.Parks)
+	}
+
+	// Memory grant manager, present only when a budget is configured.
+	if s.Mem != nil {
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("mmdb_mem_budget_bytes", "Configured engine memory budget.", s.Mem.Total)
+		gauge("mmdb_mem_granted", "Bytes currently granted across all reservations.", s.Mem.Granted)
+		gauge("mmdb_mem_waiting", "Reservations blocked waiting for a grant.", s.Mem.Waiting)
+		counter("mmdb_mem_forced_total", "Grants that overcommitted past the budget.", s.Mem.Forced)
+		counter("mmdb_mem_reversals_total", "Radix join build/probe role reversals.", s.Mem.Reversals)
+		counter("mmdb_mem_repartitions_total", "Fat-partition recursive re-splits.", s.Mem.Repartitions)
 	}
 
 	// Histogram in cumulative Prometheus form.

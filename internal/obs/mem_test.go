@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMemExposition wires a grant-manager source and checks the budget
+// snapshot flows into Snapshot, the human block, and the Prometheus
+// exposition.
+func TestMemExposition(t *testing.T) {
+	r := NewRegistry()
+	r.SetMemSource(func() MemStats {
+		return MemStats{Total: 1 << 20, Granted: 4096, Waiting: 2, Forced: 1, Reversals: 3, Repartitions: 5}
+	})
+
+	s := r.Snapshot()
+	if s.Mem == nil {
+		t.Fatal("Snapshot.Mem nil with a source wired")
+	}
+	if s.Mem.Granted != 4096 || s.Mem.Repartitions != 5 {
+		t.Fatalf("mem snapshot = %+v", *s.Mem)
+	}
+	if !strings.Contains(s.String(), "memory budget     total=1048576 granted=4096 waiting=2 forced=1 reversals=3 repartitions=5") {
+		t.Fatalf("String() missing memory line:\n%s", s.String())
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mmdb_mem_granted gauge",
+		"mmdb_mem_budget_bytes 1048576",
+		"mmdb_mem_granted 4096",
+		"mmdb_mem_waiting 2",
+		"# TYPE mmdb_mem_forced_total counter",
+		"mmdb_mem_forced_total 1",
+		"mmdb_mem_reversals_total 3",
+		"mmdb_mem_repartitions_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMemExpositionAbsentWithoutSource: no budget, no mem series.
+func TestMemExpositionAbsentWithoutSource(t *testing.T) {
+	r := NewRegistry()
+	if r.Snapshot().Mem != nil {
+		t.Fatal("Mem populated without a source")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "mmdb_mem_") {
+		t.Fatal("mem series emitted without a source")
+	}
+	if strings.Contains(r.Snapshot().String(), "memory budget") {
+		t.Fatal("String() shows a memory line without a source")
+	}
+}
+
+// TestTraceBudgetLine checks EXPLAIN ANALYZE renders the budget line
+// when the operator ran under a reservation, and omits it otherwise.
+func TestTraceBudgetLine(t *testing.T) {
+	n := &TraceNode{Op: "join", GrantBytes: 512 << 10, Reversed: 2, Resplits: 7}
+	if out := n.Line(); !strings.Contains(out, "budget: grant=512KiB reversed=2 resplit=7") {
+		t.Fatalf("node missing budget detail: %s", out)
+	}
+	quiet := &TraceNode{Op: "join", Partitions: 8}
+	if out := quiet.Line(); strings.Contains(out, "budget:") {
+		t.Fatalf("unbudgeted node shows budget detail: %s", out)
+	}
+	// Defense counts alone (forced path granted nothing) still render.
+	d := &TraceNode{Op: "join", Resplits: 1}
+	if out := d.Line(); !strings.Contains(out, "budget: grant=0B reversed=0 resplit=1") {
+		t.Fatalf("defense-only node missing budget detail: %s", out)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	for _, c := range []struct {
+		v    int64
+		want string
+	}{
+		{0, "0B"}, {512, "512B"}, {1 << 10, "1KiB"}, {4096, "4KiB"},
+		{3 << 19, "1.5MiB"}, {1 << 30, "1GiB"},
+	} {
+		if got := FmtBytes(c.v); got != c.want {
+			t.Fatalf("FmtBytes(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

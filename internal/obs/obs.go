@@ -71,6 +71,11 @@ type Registry struct {
 	// Database.Open before the registry serves traffic; read without
 	// synchronization afterwards (the same contract as txn.Manager.Obs).
 	schedSource func() SchedStats
+
+	// memSource supplies the memory grant manager's snapshot at
+	// exposition time; same wiring contract as schedSource. Nil when no
+	// memory budget is configured.
+	memSource func() MemStats
 }
 
 // SchedStats mirrors the morsel scheduler's point-in-time saturation
@@ -92,6 +97,28 @@ func (r *Registry) SetSchedSource(fn func() SchedStats) {
 		return
 	}
 	r.schedSource = fn
+}
+
+// MemStats mirrors the grant manager's point-in-time snapshot
+// (internal/mem.Stats) as plain data, so obs carries no mem dependency.
+// Total/Granted/Waiting are gauges; Forced, Reversals, and Repartitions
+// are monotonic counters.
+type MemStats struct {
+	Total        int64 `json:"total"`
+	Granted      int64 `json:"granted"`
+	Waiting      int64 `json:"waiting"`
+	Forced       int64 `json:"forced"`
+	Reversals    int64 `json:"reversals"`
+	Repartitions int64 `json:"repartitions"`
+}
+
+// SetMemSource wires the grant-manager-stats hook (see memSource). Safe
+// on a nil receiver.
+func (r *Registry) SetMemSource(fn func() MemStats) {
+	if r == nil {
+		return
+	}
+	r.memSource = fn
 }
 
 // NewRegistry creates an enabled registry with the default query-latency

@@ -31,6 +31,16 @@ type TraceNode struct {
 	Partitions    int
 	PartitionSkew float64
 
+	// Memory-budget detail, populated only when the operator ran under a
+	// grant-manager reservation: the peak bytes granted for this
+	// operator's tables, and the dynamic-hybrid defense counts — pairs
+	// whose build/probe roles were reversed, and fat partitions
+	// recursively re-split. GrantBytes > 0 turns on the "budget:" trace
+	// line even when both defenses stayed at zero.
+	GrantBytes int64
+	Reversed   int
+	Resplits   int
+
 	Ops      meter.Counters
 	Children []*TraceNode
 }
@@ -143,6 +153,9 @@ func (n *TraceNode) Line() string {
 	}
 	if n.Partitions > 0 {
 		fmt.Fprintf(&b, "  radix: passes=%d parts=%d skew=%.2f", n.RadixPasses, n.Partitions, n.PartitionSkew)
+	}
+	if n.GrantBytes > 0 || n.Reversed > 0 || n.Resplits > 0 {
+		fmt.Fprintf(&b, "  budget: grant=%s reversed=%d resplit=%d", FmtBytes(n.GrantBytes), n.Reversed, n.Resplits)
 	}
 	if n.Ops.SortPasses > 0 || n.Ops.SortRuns > 0 {
 		// The normalized-key sort kernel ran inside this operator:

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"sync/atomic"
+
 	"repro/internal/exec"
 	"repro/internal/meter"
 	"repro/internal/obs"
@@ -62,60 +64,42 @@ func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, wo
 	// Phase 3 — per-partition build + probe, partition pairs as morsels.
 	// Each pair touches only its two partition extents and its own flat
 	// table, so a pair's working set is the L2-sized footprint the plan
-	// chose the radix bits for.
+	// chose the radix bits for. Under a memory reservation (spec.Mem)
+	// each pair runs the dynamic-hybrid protocol instead: decide roles,
+	// grant the table, and degrade (reverse, re-split, force) when the
+	// grant or the forecast is wrong — see joinPair.
 	fanout := pl.Fanout()
 	desc := exec.PairDescriptor(spec.OuterName, spec.InnerName, spec.Cols)
 	results := make([]*storage.TempList, fanout)
 	counts := make([]int, fanout)
-	fi, fo := spec.InnerField, spec.OuterField
+	var reversals, resplits atomic.Int64
+	skip := pl.TotalBits()
 	spec.Meter.Add(run(spec.Sched, spec.Prog, "radix join", w, fanout, func(p int, sc *scratch) {
 		blo, bhi := ioffs[p], ioffs[p+1]
 		plo, phi := ooffs[p], ooffs[p+1]
 		if blo == bhi || plo == phi {
 			return // nothing to build or nothing to probe: no matches
 		}
-		sc.rows += int64((bhi - blo) + (phi - plo))
-		tbl := radix.GetTable()
-		if tbl.Reset(bhi - blo) {
-			sc.ctr.AddAlloc(1)
-		}
-		for _, e := range ie[blo:bhi] {
-			tbl.Insert(e.H, e.P)
-		}
-		sc.ctr.AddMove(int64(bhi - blo))
 		var local *storage.TempList
 		if !spec.Discard {
 			local = storage.MustTempList(desc)
 		}
-		// One match closure per morsel, capturing the mutable probe key —
-		// a per-tuple closure literal would heap-allocate on every probe.
-		var ko storage.Value
-		match := func(i *storage.Tuple) bool {
-			sc.ctr.AddCompare(1)
-			return storage.Equal(tupleindex.KeyOf(i, fi), ko)
+		st := pairState{
+			spec:      &spec,
+			sc:        sc,
+			local:     local,
+			reversals: &reversals,
+			resplits:  &resplits,
 		}
-		n := 0
-		matches := sc.keep
-		probe := oe[plo:phi]
-		sc.ctr.AddBatch(int64(1 + len(probe)/storage.BatchSize))
-		for j := range probe {
-			o := probe[j].P
-			ko = tupleindex.KeyOf(o, fo)
-			matches = tbl.ProbeAppend(probe[j].H, match, matches[:0])
-			n += len(matches)
-			if local != nil {
-				for _, i := range matches {
-					local.AppendPair(o, i)
-				}
-			}
-		}
-		sc.keep = matches
-		radix.PutTable(tbl)
+		counts[p] = st.joinPair(ie[blo:bhi], oe[plo:phi], skip, 0)
 		results[p] = local
-		counts[p] = n
 	}))
 	radix.PutTuplePartitioner(pi)
 	radix.PutTuplePartitioner(po)
+	stats.Reversed = int(reversals.Load())
+	stats.Repartitions = int(resplits.Load())
+	spec.Mem.NoteReversal(reversals.Load())
+	spec.Mem.NoteRepartition(resplits.Load())
 
 	if spec.RowsOut != nil {
 		total := 0
@@ -134,6 +118,216 @@ func RadixHashJoin(outer, inner exec.Source, spec exec.JoinSpec, bits []uint, wo
 		return storage.MustTempList(desc), stats
 	}
 	return mergeListsRecycle(desc, parts), stats
+}
+
+// Dynamic-hybrid degradation bounds (Jahangiri/Carey/Freytag's
+// graceful-degradation order, adapted to a pure in-memory engine:
+// reverse roles, re-split fat partitions, and only then overcommit).
+const (
+	// maxResplitDepth bounds recursive repartitioning: each round
+	// consumes up to DefaultRadixMaxPassBits more hash bits, so three
+	// rounds on top of a clamped 2-bit plan reach 26 bits of fanout —
+	// past any real partition before the bound ever fires, but a hard
+	// stop against adversarial hash distributions.
+	maxResplitDepth = 3
+	// minResplitRows is the build size below which a refused grant is
+	// forced instead of re-split: the table is already tiny, so the
+	// refusal is transient concurrency pressure, not fatness.
+	minResplitRows = 256
+	// minChildTableBytes floors the re-split target so a starved budget
+	// still produces usefully sized children rather than fanout-per-row.
+	minChildTableBytes = 32 << 10
+	// maxChildTableBytes caps the re-split target at the L2 working set
+	// the radix plan aims for in the first place.
+	maxChildTableBytes = 256 << 10
+)
+
+// pairState carries one morsel's context through the recursive
+// partition-pair protocol.
+type pairState struct {
+	spec      *exec.JoinSpec
+	sc        *scratch
+	local     *storage.TempList
+	reversals *atomic.Int64
+	resplits  *atomic.Int64
+}
+
+// joinPair joins one partition pair, inner × outer, in original
+// orientation (output rows are always (outer, inner) regardless of
+// build role). skip is how many top hash bits this pair's partition
+// path has consumed; depth counts re-split rounds.
+//
+// The budgeted protocol, in degradation order:
+//  1. Role reversal — build over the smaller extent. The planner chose
+//     the inner side from pre-partition cardinality forecasts; the
+//     histograms are ground truth, and under skew a "small" side's
+//     partition can dwarf its sibling.
+//  2. Grant-before-build — the flat table's exact footprint is granted
+//     before construction. A refused grant on a splittable partition
+//     triggers recursive repartitioning: both extents re-scatter on the
+//     next hash digits and each child pair re-enters the protocol
+//     (roles re-decided per child, grants re-tried per child).
+//  3. Forced overcommit — a partition that cannot shrink (all-equal
+//     hashes, bits exhausted, depth bound) builds at whatever size it
+//     is, recorded in the manager's forced counter.
+//
+// With no reservation (spec.Mem == nil) the pre-budget fast path runs:
+// build inner, probe outer, no accounting.
+func (st *pairState) joinPair(inner, outer []radix.TupleEntry, skip uint, depth int) int {
+	if len(inner) == 0 || len(outer) == 0 {
+		return 0
+	}
+	spec := st.spec
+	if spec.Mem == nil {
+		return st.buildProbe(inner, outer, false)
+	}
+	build, probe, reversed := inner, outer, false
+	if !spec.NoDefense && len(outer) < len(inner) {
+		build, probe, reversed = outer, inner, true
+	}
+	need := radix.TableBytes(len(build))
+	if !spec.Mem.TryGrant(need) {
+		if !spec.NoDefense && depth < maxResplitDepth && len(build) >= minResplitRows {
+			if extra := st.resplitBits(len(build), skip); extra > 0 {
+				if n, ok := st.resplitAndJoin(inner, outer, skip, extra, depth); ok {
+					return n
+				}
+			}
+		}
+		// Unsplittable (all-equal hashes, hash bits exhausted, depth
+		// bound, or already tiny): build at full size, recorded.
+		spec.Mem.Force(need)
+	}
+	if reversed {
+		st.reversals.Add(1)
+	}
+	n := st.buildProbe(build, probe, reversed)
+	spec.Mem.Release(need)
+	return n
+}
+
+// resplitBits sizes one re-split round: enough extra radix bits that a
+// child's build table fits the current budget slack (clamped to
+// [minChildTableBytes, maxChildTableBytes]), capped by the per-pass
+// write-combining budget and the hash bits this pair has left. 0 means
+// re-splitting cannot help.
+func (st *pairState) resplitBits(buildRows int, skip uint) uint {
+	maxExtra := uint(64) - skip
+	if maxExtra > 8 { // one pass, DefaultRadixMaxPassBits
+		maxExtra = 8
+	}
+	target := st.spec.Mem.Available()
+	if target > maxChildTableBytes {
+		target = maxChildTableBytes
+	}
+	if target < minChildTableBytes {
+		target = minChildTableBytes
+	}
+	// A table over n rows is ≤ 4n·16 bytes (power-of-two rounding of 2n
+	// slots), so n ≤ target/64 is guaranteed to fit.
+	rowsPerChild := int(target / 64)
+	if rowsPerChild < 1 {
+		rowsPerChild = 1
+	}
+	var extra uint
+	for extra < maxExtra && buildRows>>extra > rowsPerChild {
+		extra++
+	}
+	return extra
+}
+
+// resplitAndJoin re-scatters both extents on the next `extra` hash
+// digits below skip and joins each child pair recursively. It reports
+// false — pair not joined — when the scatter made no progress (every
+// entry of both sides landed in one child: all-equal hashes), in which
+// case the caller falls through to the forced path. The re-scatter is
+// done with pooled kernel scratch; the refined layouts are copied back
+// into the parent extents so the scratch can be released before
+// recursing (children re-split with their own pooled partitioners).
+func (st *pairState) resplitAndJoin(inner, outer []radix.TupleEntry, skip, extra uint, depth int) (int, bool) {
+	cpl := radix.Plan{Bits: []uint{extra}}
+	pr := radix.GetTuplePartitioner()
+	ires, irel := pr.PartitionFrom(inner, cpl, skip, st.spec.Meter)
+	if len(ires) > 0 && &ires[0] != &inner[0] {
+		copy(inner, ires)
+	}
+	ioffs := append(make([]int, 0, len(irel)), irel...)
+	ores, orel := pr.PartitionFrom(outer, cpl, skip, st.spec.Meter)
+	if len(ores) > 0 && &ores[0] != &outer[0] {
+		copy(outer, ores)
+	}
+	ooffs := append(make([]int, 0, len(orel)), orel...)
+	radix.PutTuplePartitioner(pr)
+
+	maxI, maxO := 0, 0
+	for c := 0; c < cpl.Fanout(); c++ {
+		if n := ioffs[c+1] - ioffs[c]; n > maxI {
+			maxI = n
+		}
+		if n := ooffs[c+1] - ooffs[c]; n > maxO {
+			maxO = n
+		}
+	}
+	if maxI == len(inner) && maxO == len(outer) {
+		return 0, false // nothing split: identical hashes straight down
+	}
+	st.resplits.Add(1)
+	total := 0
+	for c := 0; c < cpl.Fanout(); c++ {
+		total += st.joinPair(inner[ioffs[c]:ioffs[c+1]], outer[ooffs[c]:ooffs[c+1]], skip+extra, depth+1)
+	}
+	return total, true
+}
+
+// buildProbe builds the flat table over build and probes it with probe,
+// emitting (outer, inner) oriented rows: with reversed=false the build
+// side is the inner relation, with reversed=true the roles are swapped
+// and emission un-swaps them.
+func (st *pairState) buildProbe(build, probe []radix.TupleEntry, reversed bool) int {
+	sc := st.sc
+	sc.rows += int64(len(build) + len(probe))
+	tbl := radix.GetTable()
+	if tbl.Reset(len(build)) {
+		sc.ctr.AddAlloc(1)
+	}
+	for _, e := range build {
+		tbl.Insert(e.H, e.P)
+	}
+	sc.ctr.AddMove(int64(len(build)))
+	fb, fp := st.spec.InnerField, st.spec.OuterField
+	if reversed {
+		fb, fp = st.spec.OuterField, st.spec.InnerField
+	}
+	// One match closure per call, capturing the mutable probe key — a
+	// per-tuple closure literal would heap-allocate on every probe.
+	var ko storage.Value
+	match := func(b *storage.Tuple) bool {
+		sc.ctr.AddCompare(1)
+		return storage.Equal(tupleindex.KeyOf(b, fb), ko)
+	}
+	n := 0
+	matches := sc.keep
+	sc.ctr.AddBatch(int64(1 + len(probe)/storage.BatchSize))
+	for j := range probe {
+		t := probe[j].P
+		ko = tupleindex.KeyOf(t, fp)
+		matches = tbl.ProbeAppend(probe[j].H, match, matches[:0])
+		n += len(matches)
+		if st.local != nil {
+			if reversed {
+				for _, b := range matches {
+					st.local.AppendPair(b, t)
+				}
+			} else {
+				for _, b := range matches {
+					st.local.AppendPair(t, b)
+				}
+			}
+		}
+	}
+	sc.keep = matches
+	radix.PutTable(tbl)
+	return n
 }
 
 // hashEntries materializes a side into (hash, tuple) entries, one

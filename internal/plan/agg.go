@@ -108,6 +108,20 @@ func ChooseAggMethod(rows int, cfg AggConfig) (AggMethod, []uint) {
 	return AggRadixPartitioned, bits
 }
 
+// BudgetedAggBits is ChooseAggMethod under a memory grant of budget
+// bytes: the same shape decision, with a partitioned plan's width
+// clamped by ClampRadixBits. The boolean reports whether the budget
+// narrowed the plan. budget <= 0 defers entirely to ChooseAggMethod.
+func BudgetedAggBits(rows int, cfg AggConfig, budget int64) (AggMethod, []uint, bool) {
+	method, bits := ChooseAggMethod(rows, cfg)
+	if method != AggRadixPartitioned {
+		return method, bits, false
+	}
+	c := cfg.withDefaults()
+	bits, clamped := ClampRadixBits(bits, RadixConfig{MaxPassBits: c.MaxPassBits}, budget)
+	return method, bits, clamped
+}
+
 // TopKMethod is an ORDER BY execution shape.
 type TopKMethod int
 

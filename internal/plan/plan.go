@@ -363,6 +363,89 @@ func forcedRadixBits(buildRows int, c RadixConfig) []uint {
 	return bits
 }
 
+// Budget-clamped planning. When a memory grant is in force the radix
+// fanout cannot be chosen from cache geometry alone: every unit of
+// fanout costs write-combining staging on both sides of the join
+// (WCBlock entries × 16 bytes × 2 sides = 2 KiB per partition held hot
+// through the whole scatter), and a query squeezed to a small grant
+// must not burn it on scatter scratch that the build tables then starve
+// for. The clamp bounds the staging to a fraction of the budget and
+// lets the dynamic defenses (recursive repartitioning, role reversal)
+// fix up the fat partitions a narrow plan produces — bounded scratch
+// traded for extra passes over only the partitions that need them,
+// which is the Jahangiri/Carey/Freytag degradation order.
+
+// budgetStagingDivisor is the fraction of the grant the scatter's
+// write-combining staging may occupy: 1/8, leaving the rest for build
+// tables and result buffers.
+const budgetStagingDivisor = 8
+
+// stagingBytesPerPartition is the two-sided write-combining cost of one
+// unit of fanout: WCBlock (64) staged 16-byte entries per side.
+const stagingBytesPerPartition = 2 * 64 * 16
+
+// budgetMaxBits returns the widest total radix width whose staging fits
+// budget/budgetStagingDivisor, floored at 2 bits (below that the plan
+// is not a partitioning plan at all — the dynamic defenses need some
+// fanout to work with).
+func budgetMaxBits(budget int64) uint {
+	allow := budget / budgetStagingDivisor / stagingBytesPerPartition
+	var total uint
+	for total < MaxRadixHardBits && int64(1)<<(total+1) <= allow {
+		total++
+	}
+	if total < 2 {
+		total = 2
+	}
+	return total
+}
+
+// MaxRadixHardBits mirrors the kernel's hard fanout cap.
+const MaxRadixHardBits = 16
+
+// BudgetedRadixBits is ChooseRadixBits under a memory grant of budget
+// bytes: the cache-geometry plan, with its total width clamped so the
+// scatter staging fits budget/8. The boolean reports whether the clamp
+// actually narrowed the plan — true is the signal query tracing audits
+// as a budget-forced decision. budget <= 0 means unbudgeted and defers
+// entirely to ChooseRadixBits.
+func BudgetedRadixBits(buildRows int, cfg RadixConfig, budget int64) ([]uint, bool) {
+	return ClampRadixBits(ChooseRadixBits(buildRows, cfg), cfg, budget)
+}
+
+// ClampRadixBits narrows an existing radix plan to the widest total
+// width whose scatter staging fits budget/8, re-splitting the clamped
+// width into passes under the config's per-pass cap. It reports whether
+// the plan actually narrowed. nil plans and budget <= 0 pass through
+// untouched.
+func ClampRadixBits(bits []uint, cfg RadixConfig, budget int64) ([]uint, bool) {
+	if budget <= 0 || bits == nil {
+		return bits, false
+	}
+	maxTotal := budgetMaxBits(budget)
+	var total uint
+	for _, b := range bits {
+		total += b
+	}
+	if total <= maxTotal {
+		return bits, false
+	}
+	return splitPasses(maxTotal, cfg.withDefaults().MaxPassBits), true
+}
+
+// splitPasses splits total bits into near-equal passes of at most
+// maxPassBits each, wider passes first (the forcedRadixBits rule).
+func splitPasses(total, maxPassBits uint) []uint {
+	passes := (total + maxPassBits - 1) / maxPassBits
+	bits := make([]uint, 0, passes)
+	for p := uint(0); p < passes; p++ {
+		b := (total + passes - p - 1) / (passes - p)
+		bits = append(bits, b)
+		total -= b
+	}
+	return bits
+}
+
 // SortMethod is a sort-substrate strategy for the sort-based operators
 // (Sort Merge join array builds, Sort Scan duplicate elimination, MPSM
 // run formation, bulk index builds).

@@ -148,3 +148,88 @@ func TestRadixConfigClamps(t *testing.T) {
 		t.Fatalf("JoinRadixHash.String() = %q", JoinRadixHash.String())
 	}
 }
+
+func TestBudgetedRadixBits(t *testing.T) {
+	var cfg RadixConfig
+	base := ChooseRadixBits(1<<20, cfg)
+	if base == nil {
+		t.Fatal("1M rows should be over the radix crossover")
+	}
+	// No budget: pass-through, not clamped.
+	bits, clamped := BudgetedRadixBits(1<<20, cfg, 0)
+	if clamped || len(bits) != len(base) {
+		t.Fatalf("unbudgeted = %v clamped=%v, want %v", bits, clamped, base)
+	}
+	// Huge budget: plan unchanged.
+	bits, clamped = BudgetedRadixBits(1<<20, cfg, 1<<30)
+	if clamped {
+		t.Fatalf("1GiB budget clamped a %v plan to %v", base, bits)
+	}
+	// 64 KiB budget: staging allowance 64Ki/8/2048 = 4 partitions → 2 bits.
+	bits, clamped = BudgetedRadixBits(1<<20, cfg, 64<<10)
+	if !clamped {
+		t.Fatal("64KiB budget did not clamp a 1M-row plan")
+	}
+	var total uint
+	for _, b := range bits {
+		total += b
+	}
+	if total != 2 {
+		t.Fatalf("64KiB budget: total bits = %d (%v), want 2", total, bits)
+	}
+	// Below the crossover the chained join runs budget or not.
+	if bits, clamped = BudgetedRadixBits(100, cfg, 64<<10); bits != nil || clamped {
+		t.Fatalf("tiny build: %v %v", bits, clamped)
+	}
+	// Clamp floor: even a 1-byte budget keeps 2 bits of fanout.
+	bits, _ = BudgetedRadixBits(1<<20, cfg, 1)
+	total = 0
+	for _, b := range bits {
+		total += b
+	}
+	if total != 2 {
+		t.Fatalf("floor: total bits = %d", total)
+	}
+}
+
+func TestClampRadixBitsPassSplit(t *testing.T) {
+	// A clamped width wider than MaxPassBits must re-split into passes.
+	bits, clamped := ClampRadixBits([]uint{8, 6}, RadixConfig{MaxPassBits: 4}, 8<<20)
+	if !clamped {
+		t.Fatal("8MiB budget should clamp a 14-bit plan")
+	}
+	var total uint
+	for _, b := range bits {
+		total += b
+		if b > 4 {
+			t.Fatalf("pass wider than cap: %v", bits)
+		}
+	}
+	// 8Mi/8/2048 = 512 partitions → 9 bits.
+	if total != 9 {
+		t.Fatalf("total = %d (%v), want 9", total, bits)
+	}
+}
+
+func TestBudgetedAggBits(t *testing.T) {
+	var cfg AggConfig
+	method, bits, clamped := BudgetedAggBits(1<<20, cfg, 0)
+	if method != AggRadixPartitioned || clamped {
+		t.Fatalf("unbudgeted: %v %v %v", method, bits, clamped)
+	}
+	method, bits2, clamped := BudgetedAggBits(1<<20, cfg, 64<<10)
+	if method != AggRadixPartitioned || !clamped {
+		t.Fatalf("64KiB budget: %v %v %v", method, bits2, clamped)
+	}
+	var total uint
+	for _, b := range bits2 {
+		total += b
+	}
+	if total != 2 {
+		t.Fatalf("clamped agg bits = %v", bits2)
+	}
+	// Below the crossover: flat table regardless of budget.
+	if m, b, c := BudgetedAggBits(10, cfg, 1); m != AggFlatTable || b != nil || c {
+		t.Fatalf("tiny input: %v %v %v", m, b, c)
+	}
+}

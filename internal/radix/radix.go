@@ -93,6 +93,14 @@ type Stats struct {
 	Fanout  int // final partition count
 	Rows    int // entries partitioned
 	MaxPart int // largest final partition
+
+	// Defense counters filled in by the budgeted join (zero on the
+	// unbudgeted path): fat partitions recursively re-split because
+	// their table would not fit the memory grant, and partition pairs
+	// whose build/probe roles were reversed because the forecast build
+	// side turned out larger after partitioning.
+	Repartitions int
+	Reversed     int
 }
 
 // StatsOf derives Stats from a plan and the partition offsets a
@@ -117,6 +125,18 @@ func (s Stats) Skew() float64 {
 	}
 	mean := float64(s.Rows) / float64(s.Fanout)
 	return float64(s.MaxPart) / mean
+}
+
+// TableBytes is the memory footprint of a flat build Table over n
+// entries: the slot array is the smallest power of two ≥ 2n (min 8) at
+// 16 bytes per TupleEntry slot. This is the quantity the budgeted join
+// grants before every partition build.
+func TableBytes(n int) int64 {
+	need := 8
+	for need < 2*n {
+		need <<= 1
+	}
+	return int64(need) * 16
 }
 
 // Partitioner holds the kernel's reusable scratch: per-pass histogram
@@ -171,8 +191,22 @@ func (p *Partitioner[P]) ensure(pl Plan, n int) {
 // Each pass is metered as one RadixPass and one DataMove per entry; the
 // final fanout is metered as Partitions. A nil meter is free.
 func (p *Partitioner[P]) Partition(entries []Entry[P], pl Plan, m *meter.Counters) ([]Entry[P], []int) {
+	return p.PartitionFrom(entries, pl, 0, m)
+}
+
+// PartitionFrom is Partition with the radix digits taken below the top
+// `skip` hash bits: pass k of the plan consumes bits
+// [64-skip-cum(k) .. 64-skip-cum(k-1)). It is the recursive-repartition
+// entry point — a fat partition produced by a skip=0 run over B bits has
+// identical top-B hash bits throughout, so re-splitting it with
+// skip=B+… consumes the next-finer digits and refines it in place. A
+// skip of 0 is exactly Partition.
+func (p *Partitioner[P]) PartitionFrom(entries []Entry[P], pl Plan, skip uint, m *meter.Counters) ([]Entry[P], []int) {
 	if pl.TotalBits() > MaxBits {
 		panic("radix: plan exceeds MaxBits")
+	}
+	if skip+pl.TotalBits() > 64 {
+		panic("radix: skip + plan exceeds hash width")
 	}
 	n := len(entries)
 	p.ensure(pl, n)
@@ -196,7 +230,7 @@ func (p *Partitioner[P]) Partition(entries []Entry[P], pl Plan, m *meter.Counter
 	for _, b := range pl.Bits {
 		cum += b
 		f := 1 << b
-		shift := 64 - cum
+		shift := 64 - skip - cum
 		mask := uint64(f - 1)
 		next = next[:0]
 		for j := 0; j+1 < len(cur); j++ {

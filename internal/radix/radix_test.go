@@ -235,3 +235,91 @@ func BenchmarkPartition1M(b *testing.B) {
 	}
 	b.SetBytes(int64(len(es)) * 16)
 }
+
+// PartitionFrom with skip=B must refine one partition of a skip=0 run
+// over B bits exactly as a single wider run would have: re-splitting
+// partition p of a 4-bit run by 3 more bits reproduces the 7-bit
+// layout's partitions [p*8, p*8+8).
+func TestPartitionFromRefinesFatPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := mkEntries(20_000, func(int) uint64 { return rng.Uint64() })
+
+	var p Partitioner[int32]
+	coarse := Plan{Bits: []uint{4}}
+	cres, coffs := p.Partition(append([]RowEntry(nil), base...), coarse, nil)
+
+	var pw Partitioner[int32]
+	wide := Plan{Bits: []uint{7}}
+	wres, woffs := pw.Partition(append([]RowEntry(nil), base...), wide, nil)
+
+	fine := Plan{Bits: []uint{3}}
+	for part := 0; part < coarse.Fanout(); part++ {
+		seg := append([]RowEntry(nil), cres[coffs[part]:coffs[part+1]]...)
+		var pr Partitioner[int32]
+		fres, foffs := pr.PartitionFrom(seg, fine, coarse.TotalBits(), nil)
+		if len(foffs) != fine.Fanout()+1 {
+			t.Fatalf("part %d: %d offsets", part, len(foffs))
+		}
+		for c := 0; c < fine.Fanout(); c++ {
+			got := fres[foffs[c]:foffs[c+1]]
+			want := wres[woffs[part*8+c]:woffs[part*8+c+1]]
+			if len(got) != len(want) {
+				t.Fatalf("part %d child %d: %d entries, want %d", part, c, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("part %d child %d entry %d: %+v, want %+v (refinement not stable)", part, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// All-equal hashes cannot be refined: every entry lands in one child no
+// matter how deep the re-split goes — the bail-out the budgeted join's
+// Force path exists for.
+func TestPartitionFromAllEqual(t *testing.T) {
+	es := mkEntries(1_000, func(int) uint64 { return 0xDEADBEEFCAFE0000 })
+	var p Partitioner[int32]
+	pl := Plan{Bits: []uint{4}}
+	res, offs := p.PartitionFrom(es, pl, 8, nil)
+	max := 0
+	for i := 0; i < pl.Fanout(); i++ {
+		if n := offs[i+1] - offs[i]; n > max {
+			max = n
+		}
+	}
+	if max != len(res) || max != 1_000 {
+		t.Fatalf("all-equal hashes split: max child %d of %d", max, len(res))
+	}
+}
+
+func TestPartitionFromOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("skip+bits > 64 did not panic")
+		}
+	}()
+	var p Partitioner[int32]
+	p.PartitionFrom(nil, Plan{Bits: []uint{16}}, 60, nil)
+}
+
+func TestTableBytes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 8 * 16}, {1, 8 * 16}, {4, 8 * 16}, {5, 16 * 16},
+		{8, 16 * 16}, {100, 256 * 16}, {1 << 20, 1 << 21 * 16},
+	}
+	for _, c := range cases {
+		if got := TableBytes(c.n); got != c.want {
+			t.Fatalf("TableBytes(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	var tb Table
+	tb.Reset(100)
+	if got := int64(tb.Slots()) * 16; got != TableBytes(100) {
+		t.Fatalf("TableBytes(100)=%d but Reset(100) sized %d", TableBytes(100), got)
+	}
+}

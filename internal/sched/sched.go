@@ -285,6 +285,13 @@ type Query struct {
 
 	steals    atomic.Int64
 	waitNanos atomic.Int64
+	// memBytes mirrors the query's currently granted memory-reservation
+	// bytes (wired from mem.Reservation.Notify). At equal priority the
+	// claim loop prefers the query holding fewer granted bytes, so a
+	// query sitting on a large grant drains it instead of queueing more
+	// work behind it while starved siblings wait. Zero (the unbudgeted
+	// state) keeps admission exactly as before.
+	memBytes atomic.Int64
 }
 
 // NewQuery returns an admission handle on p. p may be nil: the handle
@@ -297,6 +304,24 @@ func NewQuery(p *Pool, ctx context.Context, priority int) *Query {
 
 // Pooled reports whether Run will schedule onto a pool.
 func (q *Query) Pooled() bool { return q != nil && q.pool != nil }
+
+// SetMemBytes publishes the query's currently granted memory bytes for
+// grant-aware admission (see Query.memBytes). Safe on nil and from any
+// goroutine — it is the mem.Reservation.Notify hook's target.
+func (q *Query) SetMemBytes(n int64) {
+	if q == nil {
+		return
+	}
+	q.memBytes.Store(n)
+}
+
+// MemBytes returns the last published grant gauge (0 on nil).
+func (q *Query) MemBytes() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.memBytes.Load()
+}
 
 // Cancelled reports whether the query's context is done.
 func (q *Query) Cancelled() bool {
@@ -497,7 +522,8 @@ func (w *worker) claim() bool {
 			}
 			continue
 		}
-		if best == nil || s.q.prio > best.q.prio {
+		if best == nil || s.q.prio > best.q.prio ||
+			(s.q.prio == best.q.prio && s.q.memBytes.Load() < best.q.memBytes.Load()) {
 			best, bestAt = s, at
 		}
 	}

@@ -281,3 +281,56 @@ func TestQueueDepthReturnsToZero(t *testing.T) {
 		t.Fatalf("busy %d after drain, want 0", b)
 	}
 }
+
+// TestGrantGaugeBreaksAdmissionTies: at equal priority, the query
+// holding fewer granted memory bytes is admitted first, so grant
+// holders drain instead of queueing more work in front of starved
+// siblings. With no gauges set (both zero) admission is unchanged.
+func TestGrantGaugeBreaksAdmissionTies(t *testing.T) {
+	p := NewPool(1)
+	defer p.Stop()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocker := NewQuery(p, nil, 0)
+	go func() {
+		blocker.Run(1, 1, func(int) {
+			once.Do(func() { close(started) })
+			<-gate
+		})
+	}()
+	<-started
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	runOne := func(grant int64, id int) {
+		defer wg.Done()
+		q := NewQuery(p, nil, 0)
+		q.SetMemBytes(grant)
+		q.Run(1, 1, func(int) {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		})
+	}
+	wg.Add(2)
+	go runOne(1<<20, 0) // fat grant enqueued first
+	time.Sleep(50 * time.Millisecond)
+	go runOne(0, 1) // no grant: must jump the queue
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("execution order %v, want grant-free query first", order)
+	}
+	if blocker.MemBytes() != 0 {
+		t.Fatalf("default gauge = %d, want 0", blocker.MemBytes())
+	}
+	var nq *Query
+	nq.SetMemBytes(5) // nil-safe
+	if nq.MemBytes() != 0 {
+		t.Fatal("nil query gauge")
+	}
+}

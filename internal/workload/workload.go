@@ -224,6 +224,51 @@ func SemijoinSelectivity(a, b Column) float64 {
 	return 100 * float64(n) / float64(len(a.Values))
 }
 
+// ZipfSpec describes a Zipf-skewed join column — the adversarial
+// counterpart of the paper's truncated-normal duplicate procedure. A
+// Zipf exponent of 1.2 over a million-key domain puts roughly 18% of
+// the tuples on the single hottest key and ~44% on the top ten: the
+// workload that blows one radix partition past any cache-sized table
+// and makes the dynamic-hybrid defenses (role reversal, recursive
+// re-splitting) earn their keep.
+type ZipfSpec struct {
+	Cardinality int // tuples generated
+	// S is the Zipf exponent (> 1; larger = more skew). 0 selects 1.2.
+	S float64
+	// Domain is the key domain [0, Domain). 0 selects Cardinality, so a
+	// same-size uniform relation covers every generated key.
+	Domain int
+}
+
+// BuildZipf generates a column of Zipf-distributed keys per the spec.
+func BuildZipf(spec ZipfSpec, rng *rand.Rand) (Column, error) {
+	if spec.Cardinality <= 0 {
+		return Column{}, fmt.Errorf("workload: cardinality %d", spec.Cardinality)
+	}
+	s := spec.S
+	if s <= 1 {
+		s = 1.2
+	}
+	domain := spec.Domain
+	if domain <= 0 {
+		domain = spec.Cardinality
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	values := make([]int64, spec.Cardinality)
+	seen := make(map[int64]bool)
+	for i := range values {
+		v := int64(z.Uint64())
+		values[i] = v
+		seen[v] = true
+	}
+	distinct := make([]int64, 0, len(seen))
+	for v := range seen {
+		distinct = append(distinct, v)
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	return Column{Values: values, Distinct: distinct}, nil
+}
+
 // UpdateSpec describes a skewed point-update stream — the OLTP half of a
 // mixed reader/writer workload. Row indices are drawn from a Zipf
 // distribution over [0, Rows): a small set of hot rows absorbs most of

@@ -253,3 +253,40 @@ func TestUpdateSpecStream(t *testing.T) {
 		t.Fatalf("hottest row took %d/%d draws; stream not skewed", max, draws)
 	}
 }
+
+func TestBuildZipfShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	col, err := BuildZipf(ZipfSpec{Cardinality: 100000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Values) != 100000 {
+		t.Fatalf("generated %d values", len(col.Values))
+	}
+	counts := map[int64]int{}
+	for _, v := range col.Values {
+		if v < 0 || v >= 100000 {
+			t.Fatalf("key %d outside default domain", v)
+		}
+		counts[v]++
+	}
+	if len(counts) != len(col.Distinct) {
+		t.Fatalf("Distinct has %d values, saw %d", len(col.Distinct), len(counts))
+	}
+	// s=1.2 over a 100k domain concentrates >10% of tuples on the
+	// hottest key (the analytic mass is ~18%); near-uniform data would
+	// put ~0.001% there, so the margin is enormous.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(col.Values)/10 {
+		t.Fatalf("hottest key holds %d/%d tuples; not Zipf-skewed", max, len(col.Values))
+	}
+
+	if _, err := BuildZipf(ZipfSpec{}, rng); err == nil {
+		t.Fatal("zero cardinality accepted")
+	}
+}

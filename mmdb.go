@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/lock"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/recovery"
@@ -167,6 +168,28 @@ type Options struct {
 	// replaced; production configurations should never set it. With the
 	// pool enabled it has no effect (the pool bounds workers itself).
 	DisableDegreeClamp bool
+	// MemoryBudget, in bytes, caps the engine-wide operator scratch
+	// (radix join build tables, aggregation tables) through the
+	// internal/mem grant manager. Every query opens a reservation with a
+	// fair share of the budget, every budgeted operator grants its
+	// tables before building them, and the radix join degrades
+	// gracefully instead of thrashing when a grant is refused: it
+	// reverses build/probe roles when the forecast build side turns out
+	// larger after partitioning, recursively re-splits partitions whose
+	// table would overflow the grant, and only overcommits (recorded in
+	// mmdb_mem_forced_total) for partitions that cannot shrink — e.g.
+	// all-equal join keys. The radix plan itself is also clamped so the
+	// scatter's staging fits the budget (plan.BudgetedRadixBits). 0, the
+	// default, disables budgeting entirely: the pre-budget execution
+	// paths run byte-identical.
+	MemoryBudget int64
+	// DisableSkewDefense turns off the dynamic-hybrid degradations
+	// (role reversal and recursive repartitioning) while keeping the
+	// grant accounting and budget-clamped planning of MemoryBudget:
+	// oversized tables are forced through at full size. It exists so the
+	// skew bench can measure the defenses against the thrash they
+	// prevent; production configurations should never set it.
+	DisableSkewDefense bool
 }
 
 // PoolDisabled, given to Options.PoolWorkers, turns the shared morsel
@@ -271,6 +294,7 @@ type Database struct {
 	slow   *obs.SlowLog   // nil unless Options.SlowQueryThreshold > 0
 	sched  *sched.Pool    // nil when Options.PoolWorkers == PoolDisabled
 	ownPool bool          // sched is dedicated (stop it on Close)
+	mem    *mem.Manager   // nil when Options.MemoryBudget == 0
 }
 
 // Open creates a database. With Options.Dir set, a previously saved disk
@@ -307,6 +331,21 @@ func Open(opts Options) (*Database, error) {
 				Busy:       s.Busy,
 				Steals:     s.Steals,
 				Parks:      s.Parks,
+			}
+		})
+	}
+	db.mem = mem.NewManager(opts.MemoryBudget)
+	if db.obs != nil && db.mem != nil {
+		gm := db.mem
+		db.obs.SetMemSource(func() obs.MemStats {
+			s := gm.Snapshot()
+			return obs.MemStats{
+				Total:        s.Total,
+				Granted:      s.Granted,
+				Waiting:      s.Waiting,
+				Forced:       s.Forced,
+				Reversals:    s.Reversals,
+				Repartitions: s.Repartitions,
 			}
 		})
 	}

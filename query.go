@@ -10,6 +10,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/exec"
 	"repro/internal/index/ttree"
+	"repro/internal/mem"
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -64,6 +65,8 @@ type Query struct {
 	prio      int                // scheduler admission tiebreak (Priority)
 	ctx       context.Context    // cancellation scope (WithContext); nil = background
 	sq        *sched.Query       // per-execution scheduler handle, set by execute
+	res       *mem.Reservation   // per-execution memory reservation; nil = unbudgeted
+	clamp     []obs.Decision     // budget-clamp audits pending for this execution
 	snap      *storage.Snapshot  // lock-free snapshot this execution reads; nil = locked
 	err       error
 	// forceJoin overrides the planner's join choice — a testing hook that
@@ -570,14 +573,58 @@ func (q *Query) sortMethodFor(rows, keyBytes int) plan.SortMethod {
 // and under JoinAuto whenever the build fits comfortably in cache
 // (plan.ChooseRadixBits's crossover).
 func (q *Query) radixBits(buildRows int) []uint {
+	var bits []uint
 	switch q.joinStrategy() {
 	case JoinChained:
 		return nil
 	case JoinRadix:
-		return plan.ForceRadixBits(buildRows, q.db.opts.Radix)
+		bits = plan.ForceRadixBits(buildRows, q.db.opts.Radix)
 	default:
-		return plan.ChooseRadixBits(buildRows, q.db.opts.Radix)
+		bits = plan.ChooseRadixBits(buildRows, q.db.opts.Radix)
 	}
+	return q.clampBits(bits, buildRows)
+}
+
+// memBudget is this execution's fair share of the database budget: the
+// per-query byte allowance the plan clamps size against. 0 = unbudgeted.
+func (q *Query) memBudget() int64 {
+	if q.res == nil {
+		return 0
+	}
+	return q.res.FairShare()
+}
+
+// clampBits narrows a radix plan to the query's fair share of the memory
+// budget (plan.ClampRadixBits) and queues the audit record when it did.
+func (q *Query) clampBits(bits []uint, buildRows int) []uint {
+	if q.res == nil || bits == nil {
+		return bits
+	}
+	budget := q.memBudget()
+	clamped, did := plan.ClampRadixBits(bits, q.db.opts.Radix, budget)
+	if did {
+		q.noteClamp("radix budget clamp",
+			fmt.Sprintf("bits=%v (was %v)", clamped, bits), clamped, budget, buildRows)
+	}
+	return clamped
+}
+
+// noteClamp queues a budget-clamp decision audit; execute folds the
+// queue into the trace's decision list at the end of the run. The record
+// is informational (Threshold 0): a clamp is the budget working, not a
+// misprediction.
+func (q *Query) noteClamp(name, chosen string, bits []uint, budget int64, rows int) {
+	var total uint
+	for _, b := range bits {
+		total += b
+	}
+	q.clamp = append(q.clamp, obs.Decision{
+		Name:     name,
+		Chosen:   chosen,
+		Inputs:   fmt.Sprintf("budget=%s rows=%s", obs.FmtBytes(budget), obs.FmtCount(float64(rows))),
+		Estimate: float64(int(1) << total),
+		Unit:     "partitions",
+	})
 }
 
 // Result is a query result: a temporary list of tuple pointers plus the
@@ -731,6 +778,20 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 	}
 	if err := q.sq.Err(); err != nil {
 		return nil, nil, err
+	}
+
+	// Memory-budget reservation: the fair-share unit every scratch-hungry
+	// operator grants against, mirrored into the scheduler's grant gauge
+	// so admission prefers memory-light queries at equal priority. nil
+	// (no budget) keeps every downstream path on its pre-budget behavior.
+	q.clamp = q.clamp[:0]
+	q.res = q.db.mem.Reserve()
+	if q.res != nil {
+		q.res.Notify = q.sq.SetMemBytes
+		defer func() {
+			q.res.Close()
+			q.res = nil
+		}()
 	}
 
 	var start time.Time
@@ -1001,6 +1062,11 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 				node.Partitions = jr.radix.Fanout
 				node.PartitionSkew = jr.radix.Skew()
 			}
+			if q.res != nil && jr.radix.Fanout > 0 {
+				node.GrantBytes = jr.grantBytes
+				node.Reversed = jr.radix.Reversed
+				node.Resplits = jr.radix.Repartitions
+			}
 			root.Add(node)
 			t0 = now
 		}
@@ -1077,6 +1143,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 				node.Partitions = gr.radix.Fanout
 				node.PartitionSkew = gr.radix.Skew()
 			}
+			node.GrantBytes = gr.grant
 			root.Add(node)
 			t0 = now
 		}
@@ -1232,6 +1299,7 @@ func (q *Query) execute(analyze bool) (*Result, *QueryTrace, error) {
 			shape += "+order"
 		}
 		wall := time.Since(start)
+		decisions = append(decisions, q.clamp...)
 		for _, d := range decisions {
 			reg.RecordDecision(d) // nil-safe: counts mispredictions
 		}
@@ -1742,6 +1810,7 @@ type joinExec struct {
 	workRows     int             // rows the worker chooser divided (outer + inner)
 	buildEst     int             // build cardinality the radix bits were sized for
 	sortRows     int             // input size the sort-method crossover saw
+	grantBytes   int64           // peak bytes granted (0 unless a budget is set)
 }
 
 // runJoin joins the selection result (left) with the join table (right).
@@ -1767,6 +1836,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 		OuterName: q.rels[0].name, InnerName: q.rels[1].name,
 		OuterField: j.leftField, InnerField: j.rightField,
 		Meter: m, Prog: pg, Limit: limit, Sched: q.sq,
+		Mem: q.res, NoDefense: q.db.opts.DisableSkewDefense,
 	}
 	out := joinExec{method: choice, rowsIn: outer.Len(), workRows: outer.Len() + innerCard}
 	switch choice {
@@ -1802,6 +1872,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 				parallel.ListSource{List: left, Column: 0},
 				parallel.RelationSource{Rel: jt.rel}, spec, bits, w)
 			out.innerScanned = innerCard // partition pass scans the inner relation
+			out.grantBytes = q.res.Peak()
 		} else {
 			if w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard); w > 1 && limit <= 0 {
 				spec.Parallelism = w
@@ -1817,7 +1888,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 	case plan.JoinRadixHash:
 		// Reached only via the forceJoin test hook or a forced strategy:
 		// size a minimal radix plan regardless of the crossover.
-		bits := plan.ForceRadixBits(innerCard, q.db.opts.Radix)
+		bits := q.clampBits(plan.ForceRadixBits(innerCard, q.db.opts.Radix), innerCard)
 		w := plan.ChooseWorkers(q.parallelism(), outer.Len()+innerCard)
 		spec.Parallelism = w
 		out.workers = w
@@ -1826,6 +1897,7 @@ func (q *Query) runJoin(left *storage.TempList, m *meter.Counters, pg *obs.Progr
 			parallel.ListSource{List: left, Column: 0},
 			parallel.RelationSource{Rel: jt.rel}, spec, bits, w)
 		out.innerScanned = innerCard
+		out.grantBytes = q.res.Peak()
 	case plan.JoinSortMerge:
 		// Resolve the sort substrate for the array builds; the larger
 		// side drives the crossover (both sides get sorted, and the
@@ -2206,6 +2278,7 @@ type groupExec struct {
 	rowsIn  int
 	workers int
 	radix   radix.Stats // partitioning stats (zero unless radix ran)
+	grant   int64       // bytes granted before the table build (0 = unbudgeted)
 }
 
 // runGroup executes GROUP BY + aggregates: project the group-key and
@@ -2251,7 +2324,27 @@ func (q *Query) runGroup(list *storage.TempList, m *meter.Counters, pg *obs.Prog
 	})
 	n := work.Len()
 
-	method, bits := plan.ChooseAggMethod(n, q.db.opts.Agg)
+	method, bits, aggClamped := plan.BudgetedAggBits(n, q.db.opts.Agg, q.memBudget())
+	if aggClamped {
+		q.noteClamp("agg budget clamp", fmt.Sprintf("bits=%v", bits), bits, q.memBudget(), n)
+	}
+	var grant int64
+	if q.res != nil {
+		// Grant-before-build: reserve the worst-case table footprint
+		// (every input row its own group) before allocating, waiting for
+		// sibling queries to release when the budget is tight. The wait
+		// honors the query's context, so cancellation propagates as an
+		// error instead of a stuck build.
+		grant = radix.TableBytes(n)
+		qctx := q.ctx
+		if qctx == nil {
+			qctx = context.Background()
+		}
+		if err := q.res.Grant(qctx, grant); err != nil {
+			return groupExec{}, err
+		}
+		defer q.res.Release(grant)
+	}
 	workers := plan.ChooseWorkers(q.parallelism(), n)
 	g := agg.Get()
 	res := parallel.HashAgg(q.sq, pg, g, work, gcols, specs, bits, workers, m)
@@ -2280,7 +2373,7 @@ func (q *Query) runGroup(list *storage.TempList, m *meter.Counters, pg *obs.Prog
 	}
 	return groupExec{
 		list: out, method: method, path: path, detail: detail,
-		rowsIn: n, workers: workers, radix: stats,
+		rowsIn: n, workers: workers, radix: stats, grant: grant,
 	}, nil
 }
 
